@@ -1,0 +1,98 @@
+#pragma once
+// Shared helpers for the per-figure benchmark binaries.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/tile_pattern.hpp"
+#include "prune/tw_pruner.hpp"
+#include "sim/device_model.hpp"
+#include "sim/gemm_model.hpp"
+#include "sim/sparse_model.hpp"
+#include "sim/tw_model.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+#include "workload/shapes.hpp"
+
+namespace tilesparse::bench {
+
+/// Synthetic importance scores shaped like trained-network statistics:
+/// i.i.d. magnitudes with a fraction of globally weak columns (weak
+/// output neurons) and weak rows (dead input features) — the structure
+/// TW's row/column pruning exploits.
+inline MatrixF synthetic_scores(std::size_t k, std::size_t n,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  MatrixF scores(k, n);
+  for (float& v : scores.flat()) v = std::fabs(rng.normal());
+  for (std::size_t c = 0; c < n; ++c) {
+    if (rng.uniform() < 0.15f) {
+      const float scale = rng.uniform(0.02f, 0.3f);
+      for (std::size_t r = 0; r < k; ++r) scores(r, c) *= scale;
+    }
+  }
+  for (std::size_t r = 0; r < k; ++r) {
+    if (rng.uniform() < 0.10f) {
+      const float scale = rng.uniform(0.02f, 0.3f);
+      for (std::size_t c = 0; c < n; ++c) scores(r, c) *= scale;
+    }
+  }
+  return scores;
+}
+
+/// TW pattern for a weight-GEMM shape at the given sparsity.
+inline TilePattern make_tw_pattern(const GemmShape& shape, double sparsity,
+                                   std::size_t g, std::uint64_t seed) {
+  return tw_pattern_from_scores(synthetic_scores(shape.k, shape.n, seed),
+                                sparsity, g);
+}
+
+/// Sum of dense-GEMM model latency over a whole network's weight GEMMs.
+inline double dense_model_latency(const DeviceModel& dev,
+                                  const std::vector<LayerGemm>& gemms,
+                                  Core core) {
+  double total = 0.0;
+  for (const auto& gemm : gemms)
+    total += dense_gemm_latency(dev, gemm.shape, core).seconds() *
+             static_cast<double>(gemm.repeat);
+  return total;
+}
+
+/// Sum of TW model latency over a network at a uniform sparsity level.
+inline double tw_model_latency(const DeviceModel& dev,
+                               const std::vector<LayerGemm>& gemms,
+                               double sparsity, std::size_t g,
+                               const TwExecOptions& options = {}) {
+  double total = 0.0;
+  std::uint64_t seed = 100;
+  for (const auto& gemm : gemms) {
+    const TilePattern p = make_tw_pattern(gemm.shape, sparsity, g, seed++);
+    total += tw_gemm_latency(dev, gemm.shape.m, p, options).seconds() *
+             static_cast<double>(gemm.repeat);
+  }
+  return total;
+}
+
+/// CSR (cuSparse) model latency over a network.
+inline double csr_model_latency(const DeviceModel& dev,
+                                const std::vector<LayerGemm>& gemms,
+                                double density, bool vector_wise) {
+  double total = 0.0;
+  for (const auto& gemm : gemms)
+    total += csr_spmm_latency(dev, gemm.shape, density, vector_wise).seconds() *
+             static_cast<double>(gemm.repeat);
+  return total;
+}
+
+/// BSR (BlockSparse) model latency over a network.
+inline double bsr_model_latency(const DeviceModel& dev,
+                                const std::vector<LayerGemm>& gemms,
+                                double block_density, std::size_t block) {
+  double total = 0.0;
+  for (const auto& gemm : gemms)
+    total += bsr_gemm_latency(dev, gemm.shape, block_density, block).seconds() *
+             static_cast<double>(gemm.repeat);
+  return total;
+}
+
+}  // namespace tilesparse::bench

@@ -1,0 +1,126 @@
+// Measured (not modelled) kernels on the CPU substrate under
+// google-benchmark: dense GEMM, TW masked GEMM at several sparsities
+// (gather vs packed variants — the coalescing ablation), CSR SpMM and
+// BSR GEMM on the same shape.  Sanity anchor for the analytical model:
+// TW time must fall with sparsity because work is actually skipped.
+
+#include <benchmark/benchmark.h>
+
+#include "core/tile_exec.hpp"
+#include "gemm/dense_gemm.hpp"
+#include "gemm/masked_gemm.hpp"
+#include "prune/tw_pruner.hpp"
+#include "sparse/bsr.hpp"
+#include "sparse/spmm.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tilesparse;
+
+constexpr std::size_t kM = 256, kK = 768, kN = 768;
+
+MatrixF make_a() {
+  Rng rng(1);
+  MatrixF a(kM, kK);
+  fill_normal(a, rng);
+  return a;
+}
+
+MatrixF make_w() {
+  Rng rng(2);
+  MatrixF w(kK, kN);
+  fill_normal(w, rng);
+  return w;
+}
+
+TilePattern pattern_at(double sparsity) {
+  Rng rng(3);
+  MatrixF scores(kK, kN);
+  fill_uniform(scores, rng, 0.01f, 1.0f);
+  return tw_pattern_from_scores(scores, sparsity, 128);
+}
+
+void BM_DenseGemm(benchmark::State& state) {
+  const MatrixF a = make_a();
+  const MatrixF w = make_w();
+  MatrixF c(kM, kN);
+  for (auto _ : state) {
+    dense_gemm(a, w, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DenseGemm);
+
+void BM_TwMaskedGemm(benchmark::State& state) {
+  const double sparsity = static_cast<double>(state.range(0)) / 100.0;
+  const MatrixF a = make_a();
+  const MatrixF w = make_w();
+  const auto tiles = compact_tiles(w, pattern_at(sparsity));
+  MatrixF c(kM, kN);
+  for (auto _ : state) {
+    c.fill(0.0f);
+    masked_gemm_all(a, tiles, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["sparsity"] = sparsity;
+}
+BENCHMARK(BM_TwMaskedGemm)->Arg(0)->Arg(25)->Arg(50)->Arg(75)->Arg(90)->Arg(99);
+
+void BM_TwGatherVariant(benchmark::State& state) {
+  // The uncoalesced analogue: indexed loads instead of packed panels.
+  const MatrixF a = make_a();
+  const MatrixF w = make_w();
+  const auto tiles = compact_tiles(w, pattern_at(0.75));
+  MatrixF c(kM, kN);
+  for (auto _ : state) {
+    c.fill(0.0f);
+    for (const auto& tile : tiles) masked_gemm_gather(a, tile, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_TwGatherVariant);
+
+void BM_CsrSpmm(benchmark::State& state) {
+  const double sparsity = static_cast<double>(state.range(0)) / 100.0;
+  Rng rng(4);
+  const MatrixF a = make_a();
+  MatrixF w = make_w();
+  for (float& v : w.flat())
+    if (rng.uniform() < sparsity) v = 0.0f;
+  const Csr csr = csr_from_dense(w);
+  for (auto _ : state) {
+    MatrixF c = dense_times_csr(a, csr);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["sparsity"] = sparsity;
+}
+BENCHMARK(BM_CsrSpmm)->Arg(75)->Arg(95);
+
+void BM_BsrGemm(benchmark::State& state) {
+  const double sparsity = static_cast<double>(state.range(0)) / 100.0;
+  Rng rng(5);
+  const MatrixF a = make_a();
+  MatrixF w = make_w();
+  // Block-sparse weights: zero whole 32x32 blocks.
+  for (std::size_t br = 0; br < kK / 32; ++br)
+    for (std::size_t bc = 0; bc < kN / 32; ++bc)
+      if (rng.uniform() < sparsity)
+        for (std::size_t r = 0; r < 32; ++r)
+          for (std::size_t c = 0; c < 32; ++c) w(br * 32 + r, bc * 32 + c) = 0.0f;
+  const Bsr bsr = bsr_from_dense(w, 32);
+  MatrixF c(kM, kN);
+  for (auto _ : state) {
+    c.fill(0.0f);
+    bsr_gemm_accumulate(a, bsr, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["sparsity"] = sparsity;
+}
+BENCHMARK(BM_BsrGemm)->Arg(50)->Arg(75);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Fig. 6 — Cumulative probability of per-unit zero-element ratio under
+// an EW-75% mask, for BW 8x8 blocks, BW 32x32 blocks, and TW row
+// vectors of 64 elements (G=64).
+//
+// Paper's shape: TW(1x64) units are far more often (nearly) all-zero
+// than same-size BW(8x8) blocks; BW(32x32) captures the fewest.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "prune/analysis.hpp"
+#include "prune/patterns.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace tilesparse;
+using tilesparse::bench::synthetic_scores;
+
+int main() {
+  std::puts("== Reproduction of paper Fig. 6 ==");
+  std::puts("CDF of zero-element ratio per pruning unit (EW mask @75%).\n");
+
+  // BERT-like weight matrix with column-correlated weak scores.
+  const MatrixF scores = synthetic_scores(768, 3072, 7);
+  const MatrixU8 mask = ew_mask(scores, 0.75);
+
+  const auto bw8 = unit_zero_fractions(mask, 8, 8);
+  const auto bw32 = unit_zero_fractions(mask, 32, 32);
+  const auto tw64 = unit_zero_fractions(mask, 1, 64);
+
+  std::vector<float> grid;
+  for (float g = 0.50f; g <= 1.001f; g += 0.05f) grid.push_back(g);
+  const auto cdf8 = empirical_cdf(bw8, grid);
+  const auto cdf32 = empirical_cdf(bw32, grid);
+  const auto cdf64 = empirical_cdf(tw64, grid);
+
+  Table table("Cumulative probability of unit zero-ratio <= x");
+  table.set_header({"zero ratio", "BW 8x8", "BW 32x32", "TW G=64"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    table.add_row({format_double(grid[i], 2), format_double(cdf8[i], 3),
+                   format_double(cdf32[i], 3), format_double(cdf64[i], 3)});
+  }
+  table.print();
+
+  auto tail = [](const std::vector<float>& units, float threshold) {
+    std::size_t over = 0;
+    for (float u : units) over += u >= threshold;
+    return static_cast<double>(over) / static_cast<double>(units.size());
+  };
+  std::printf(
+      "\nfraction of units >=95%% zero:  TW64 %.4f | BW8 %.4f | BW32 %.4f\n",
+      tail(tw64, 0.95f), tail(bw8, 0.95f), tail(bw32, 0.95f));
+  std::printf("paper shape check (TW64 > BW8 > BW32): %s\n",
+              (tail(tw64, 0.95f) >= tail(bw8, 0.95f) &&
+               tail(bw8, 0.95f) >= tail(bw32, 0.95f))
+                  ? "yes"
+                  : "NO");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Fig. 9 — TW design space on BERT:
+//  (a) accuracy versus sparsity for TW G in {8, 32, 64, 128} and BW
+//      {8, 32, 64} against EW (run on the BertMini proxy; granularities
+//      scaled to the proxy's 64-wide matrices);
+//  (b) latency versus sparsity for TW G in {64, 128} and BW blocks on
+//      the tensor-core model at full BERT-base shapes.
+//
+// Paper shapes: accuracy EW >= TW(small G) >= TW(large G) >> BW(large);
+// latency TW-128 crosses dense near 40% sparsity, ~2.26x at 75%.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "nn/prune_experiment.hpp"
+#include "util/table.hpp"
+
+using namespace tilesparse;
+using namespace tilesparse::bench;
+
+int main() {
+  std::puts("== Reproduction of paper Fig. 9 ==\n");
+
+  // ---------------- (a) accuracy vs sparsity on the proxy -------------
+  auto task = make_bert_cls_task(/*pretrain_steps=*/250);
+  const auto baseline = snapshot_params(task->prunable());
+  const double dense_acc = task->evaluate();
+  std::printf("dense proxy accuracy: %.3f\n\n", dense_acc);
+
+  Table acc_table("Fig. 9a: accuracy vs sparsity (BertMini proxy)");
+  acc_table.set_header(
+      {"sparsity", "EW", "TW G=8", "TW G=16", "TW G=32", "BW 8x8", "BW 16x16"});
+  const int finetune = 60;
+  for (double sparsity : {0.3, 0.5, 0.7, 0.85}) {
+    std::vector<std::string> row{format_double(sparsity, 2)};
+    auto eval = [&](PatternSpec spec) {
+      restore_params(task->prunable(), baseline);
+      spec.sparsity = sparsity;
+      const auto r = prune_and_evaluate(*task, spec, finetune);
+      return format_double(r.metric, 3);
+    };
+    PatternSpec ew;
+    ew.kind = PatternKind::kEw;
+    row.push_back(eval(ew));
+    for (std::size_t g : {8u, 16u, 32u}) {
+      PatternSpec tw;
+      tw.kind = PatternKind::kTw;
+      tw.g = g;
+      row.push_back(eval(tw));
+    }
+    for (std::size_t b : {8u, 16u}) {
+      PatternSpec bw;
+      bw.kind = PatternKind::kBw;
+      bw.block = b;
+      row.push_back(eval(bw));
+    }
+    acc_table.add_row(std::move(row));
+  }
+  acc_table.print();
+  std::puts("");
+
+  // ---------------- (b) latency vs sparsity at BERT-base shape --------
+  const DeviceModel dev = DeviceModel::v100();
+  const auto gemms = bert_base_gemms();
+  const double dense = dense_model_latency(dev, gemms, Core::kTensor);
+
+  Table lat_table(
+      "Fig. 9b: normalized latency vs sparsity (tensor-core model)");
+  lat_table.set_header(
+      {"sparsity", "TW G=64", "TW G=128", "BW 32x32", "BW 64x64"});
+  for (double s : {0.0, 0.2, 0.4, 0.6, 0.75, 0.9}) {
+    lat_table.add_row(
+        {format_double(s, 2),
+         format_double(tw_model_latency(dev, gemms, s, 64) / dense, 3),
+         format_double(tw_model_latency(dev, gemms, s, 128) / dense, 3),
+         format_double(bsr_model_latency(dev, gemms, 1.0 - s, 32) / dense, 3),
+         format_double(bsr_model_latency(dev, gemms, 1.0 - s, 64) / dense, 3)});
+  }
+  lat_table.print();
+
+  const double tw75 = tw_model_latency(dev, gemms, 0.75, 128);
+  std::printf("\nTW-128 speedup at 75%%: %.2fx (paper: 2.26x)\n", dense / tw75);
+  const double tw40 = tw_model_latency(dev, gemms, 0.40, 128);
+  std::printf("TW-128 at 40%% vs dense: %.2fx (paper: ~break-even)\n",
+              dense / tw40);
+  return 0;
+}

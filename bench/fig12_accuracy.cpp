@@ -1,0 +1,69 @@
+// Fig. 12 — Accuracy of the four tasks (MNLI proxy, SQuAD proxy,
+// VGG/ImageNet proxy, NMT proxy in BLEU) under EW / TW / TEW-5% / VW /
+// BW at increasing sparsity.
+//
+// Paper shapes: EW best everywhere; TW ~= VW below ~70%, TW better above
+// (except NMT where VW's small granularity wins); BW worst; TEW-5%
+// tracks EW closely.
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "nn/prune_experiment.hpp"
+#include "util/table.hpp"
+
+using namespace tilesparse;
+
+namespace {
+
+void run_task(const char* title, PruneTask& task, int finetune) {
+  const auto baseline = snapshot_params(task.prunable());
+  const double dense = task.evaluate();
+
+  Table table(std::string("Fig. 12: ") + title);
+  table.set_header({"sparsity", "EW", "TW", "TEW-5%", "VW", "BW"});
+  for (double sparsity : {0.4, 0.6, 0.8}) {
+    auto eval = [&](PatternKind kind) {
+      restore_params(task.prunable(), baseline);
+      PatternSpec spec;
+      spec.kind = kind;
+      spec.sparsity = sparsity;
+      spec.g = 16;
+      spec.block = 8;
+      spec.vector_len = 8;
+      spec.tew_delta = 0.05;
+      return format_double(prune_and_evaluate(task, spec, finetune).metric, 3);
+    };
+    table.add_row({format_double(sparsity, 2), eval(PatternKind::kEw),
+                   eval(PatternKind::kTw), eval(PatternKind::kTew),
+                   eval(PatternKind::kVw), eval(PatternKind::kBw)});
+  }
+  table.print();
+  std::printf("dense reference: %.3f\n\n", dense);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== Reproduction of paper Fig. 12 ==\n");
+  const int pretrain = 250;
+  const int finetune = 60;
+  {
+    auto task = make_bert_cls_task(pretrain);
+    run_task("BERT sentence classification (MNLI proxy)", *task, finetune);
+  }
+  {
+    auto task = make_bert_span_task(pretrain);
+    run_task("BERT span extraction (SQuAD proxy)", *task, finetune);
+  }
+  {
+    auto task = make_vgg_task(pretrain);
+    run_task("VGG image classification (ImageNet proxy)", *task, finetune);
+  }
+  {
+    auto task = make_nmt_task(400);
+    run_task("NMT translation (BLEU, IWSLT proxy)", *task, 100);
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Fig. 14 — Latency/accuracy Pareto: for each model (BERT, VGG, NMT)
+// and each pattern, sweep sparsity and report (accuracy, speedup) pairs.
+// Tensor-core comparison: TW vs BW; CUDA-core comparison: TW vs EW vs VW.
+//
+// Paper shape: only TW extends the Pareto frontier (speedup > 1 with
+// small accuracy loss); EW/VW/BW all land below 1x.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "nn/prune_experiment.hpp"
+#include "util/table.hpp"
+
+using namespace tilesparse;
+using namespace tilesparse::bench;
+
+namespace {
+
+struct SweepPoint {
+  double sparsity;
+  double metric;
+};
+
+/// Accuracy sweep for one pattern on one task.
+std::vector<SweepPoint> accuracy_sweep(PruneTask& task,
+                                       const std::vector<MatrixF>& baseline,
+                                       PatternKind kind, int finetune) {
+  std::vector<SweepPoint> points;
+  for (double s : {0.4, 0.6, 0.75}) {
+    restore_params(task.prunable(), baseline);
+    PatternSpec spec;
+    spec.kind = kind;
+    spec.sparsity = s;
+    spec.g = 16;
+    spec.block = 8;
+    spec.vector_len = 8;
+    points.push_back({s, prune_and_evaluate(task, spec, finetune).metric});
+  }
+  return points;
+}
+
+/// Model-level latency speedup of a pattern at a sparsity, per core.
+double speedup(const std::vector<LayerGemm>& gemms, PatternKind kind,
+               double sparsity, Core core) {
+  const DeviceModel dev = DeviceModel::v100();
+  const double dense = dense_model_latency(dev, gemms, core);
+  switch (kind) {
+    case PatternKind::kTw: {
+      TwExecOptions options;
+      options.core = core;
+      return dense / tw_model_latency(dev, gemms, sparsity, 128, options);
+    }
+    case PatternKind::kBw:
+      return dense / bsr_model_latency(dev, gemms, 1.0 - sparsity, 32);
+    case PatternKind::kEw:
+      return dense / csr_model_latency(dev, gemms, 1.0 - sparsity, false);
+    case PatternKind::kVw:
+      return dense / csr_model_latency(dev, gemms, 1.0 - sparsity, true);
+    default:
+      return 1.0;
+  }
+}
+
+void run_model(const char* title, PruneTask& task,
+               const std::vector<LayerGemm>& gemms, int finetune) {
+  const auto baseline = snapshot_params(task.prunable());
+  const double dense_metric = task.evaluate();
+
+  Table table(std::string("Fig. 14: ") + title +
+              " — (metric, speedup) per pattern and sparsity");
+  table.set_header({"pattern", "sparsity", "metric", "speedup TC",
+                    "speedup CC"});
+  table.add_row({"Dense", "0.00", format_double(dense_metric, 3), "1.000",
+                 "1.000"});
+  for (PatternKind kind : {PatternKind::kTw, PatternKind::kBw, PatternKind::kEw,
+                           PatternKind::kVw}) {
+    const auto points = accuracy_sweep(task, baseline, kind, finetune);
+    for (const auto& pt : points) {
+      table.add_row({pattern_name(kind), format_double(pt.sparsity, 2),
+                     format_double(pt.metric, 3),
+                     format_double(speedup(gemms, kind, pt.sparsity,
+                                           Core::kTensor), 3),
+                     format_double(speedup(gemms, kind, pt.sparsity,
+                                           Core::kCuda), 3)});
+    }
+  }
+  table.print();
+  std::puts("");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== Reproduction of paper Fig. 14 ==\n");
+  {
+    auto task = make_bert_cls_task(250);
+    run_model("BERT", *task, bert_base_gemms(), 60);
+  }
+  {
+    auto task = make_vgg_task(250);
+    run_model("VGG", *task, vgg16_gemms(), 60);
+  }
+  {
+    auto task = make_nmt_task(400);
+    run_model("NMT", *task, nmt_gemms(), 100);
+  }
+  std::puts(
+      "paper shape check: only TW rows should show speedup > 1 on both "
+      "cores; EW/VW/BW < 1.");
+  return 0;
+}

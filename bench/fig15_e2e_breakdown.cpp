@@ -1,0 +1,87 @@
+// Fig. 15 — End-to-end latency breakdown for TW-sparse BERT and NMT at
+// 75% sparsity under four optimization settings: dense baseline, TW
+// without the transpose optimization, transpose only, and transpose +
+// kernel fusion.
+//
+// Paper shapes: without transpose the GEMM gains vanish; the transpose
+// kernels cost ~10% unfused; with both optimizations BERT reaches
+// ~1.61x end-to-end (GEMM-only 2.26x) and NMT ~1.86x (2.38x).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/e2e_model.hpp"
+#include "util/table.hpp"
+#include "workload/model_ops.hpp"
+
+using namespace tilesparse;
+using namespace tilesparse::bench;
+
+namespace {
+
+struct ModelSetup {
+  const char* name;
+  std::vector<LayerGemm> gemms;
+  std::vector<E2eOp> (*build)(std::size_t, std::size_t,
+                              const std::vector<const TilePattern*>*);
+  std::size_t seq, batch;
+};
+
+void run(const ModelSetup& setup) {
+  const DeviceModel dev = DeviceModel::v100();
+
+  // TW patterns at 75% for every weight GEMM.
+  std::vector<TilePattern> patterns;
+  std::uint64_t seed = 1500;
+  for (const auto& gemm : setup.gemms)
+    patterns.push_back(make_tw_pattern(gemm.shape, 0.75, 128, seed++));
+  std::vector<const TilePattern*> ptrs;
+  for (const auto& p : patterns) ptrs.push_back(&p);
+
+  const auto sparse_ops = setup.build(setup.seq, setup.batch, &ptrs);
+  const auto dense_ops = setup.build(setup.seq, setup.batch, nullptr);
+
+  E2eOptions dense_opt;
+  dense_opt.use_tw = false;
+  const auto dense = e2e_latency(dev, dense_ops, dense_opt);
+
+  auto tw_case = [&](bool transpose, bool fusion) {
+    E2eOptions options;
+    options.transpose_opt = transpose;
+    options.fusion = fusion;
+    return e2e_latency(dev, sparse_ops, options);
+  };
+  const auto no_transpose = tw_case(false, false);
+  const auto transpose_only = tw_case(true, false);
+  const auto transpose_fusion = tw_case(true, true);
+
+  Table table(std::string("Fig. 15 (") + setup.name +
+              " @75%): e2e latency breakdown, normalized to dense total");
+  table.set_header({"config", "GEMM", "transpose", "others", "total",
+                    "e2e speedup"});
+  auto row = [&](const char* name, const E2eBreakdown& b) {
+    table.add_row({name, format_double(b.gemm_s / dense.total(), 3),
+                   format_double(b.transpose_s / dense.total(), 3),
+                   format_double(b.other_s / dense.total(), 3),
+                   format_double(b.total() / dense.total(), 3),
+                   format_double(dense.total() / b.total(), 2) + "x"});
+  };
+  row("Dense (fused)", dense);
+  row("TW w/o transpose", no_transpose);
+  row("TW transpose only", transpose_only);
+  row("TW transpose+fusion", transpose_fusion);
+  table.print();
+
+  const double gemm_speedup = dense.gemm_s / transpose_fusion.gemm_s;
+  std::printf("GEMM-only speedup: %.2fx | e2e speedup: %.2fx\n\n",
+              gemm_speedup, dense.total() / transpose_fusion.total());
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== Reproduction of paper Fig. 15 ==\n");
+  run({"BERT", bert_base_gemms(), &build_bert_ops, 128, 1});
+  run({"NMT", nmt_gemms(), &build_nmt_ops, 32, 32});
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Extension bench: TW + INT8 quantization (the paper's stated future
+// work, Sec. VIII).  Measures on the CPU substrate:
+//  * numerical error of int8 TW execution vs fp32 and fp16 TW,
+//  * measured kernel time (int8 arithmetic is narrower; on real tensor
+//    cores it doubles peak throughput on top of the sparsity win),
+// and reports the projected energy per inference from the device model.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/tile_exec.hpp"
+#include "gemm/dense_gemm.hpp"
+#include "quant/quant_gemm.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace tilesparse;
+using namespace tilesparse::bench;
+
+int main() {
+  std::puts("== Extension: TW x INT8 quantization ==\n");
+  Rng rng(3);
+  const std::size_t m = 256, k = 768, n = 768;
+  MatrixF a(m, k);
+  fill_normal(a, rng, 0.0f, 0.5f);
+  MatrixF w(k, n);
+  fill_normal(w, rng, 0.0f, 0.5f);
+
+  Table table("TW GEMM numerics and measured CPU time per sparsity");
+  table.set_header({"sparsity", "fp16 max err", "int8 max err",
+                    "fp32 time (ms)", "int8 time (ms)"});
+  for (double s : {0.0, 0.5, 0.75, 0.9}) {
+    const TilePattern p =
+        tw_pattern_from_scores(synthetic_scores(k, n, 17), s, 128);
+    MatrixF pruned = w;
+    apply_pattern(p, pruned);
+    const auto tiles = compact_tiles(pruned, p);
+    const auto qtiles = quantize_tiles(tiles);
+
+    const MatrixF c_fp32 = tw_matmul(a, tiles, n);
+    const MatrixF c_fp16 = tw_matmul(a, tiles, n, /*fp16_inputs=*/true);
+    const MatrixF c_int8 = quant_tw_matmul(a, qtiles, n);
+
+    MatrixF c(m, n);
+    const double t_fp32 = time_best_of([&] {
+      c.fill(0.0f);
+      masked_gemm_all(a, tiles, c);
+    });
+    const double t_int8 = time_best_of([&] { quant_tw_matmul(a, qtiles, n); });
+
+    table.add_row({format_double(s, 2),
+                   format_double(max_abs_diff(c_fp32, c_fp16), 4),
+                   format_double(max_abs_diff(c_fp32, c_int8), 4),
+                   format_double(t_fp32 * 1e3, 3),
+                   format_double(t_int8 * 1e3, 3)});
+  }
+  table.print();
+
+  std::puts("\nProjected V100 energy per BERT inference (device model):");
+  const DeviceModel dev = DeviceModel::v100();
+  const auto gemms = bert_base_gemms();
+  double dense_energy = 0.0, tw_energy = 0.0;
+  std::uint64_t seed = 3000;
+  for (const auto& gemm : gemms) {
+    dense_energy += dense_gemm_latency(dev, gemm.shape, Core::kTensor)
+                        .energy_joules(dev, Core::kTensor);
+    const TilePattern p = make_tw_pattern(gemm.shape, 0.75, 128, seed++);
+    tw_energy += tw_gemm_latency(dev, gemm.shape.m, p)
+                     .energy_joules(dev, Core::kTensor);
+  }
+  std::printf("  dense %.3f mJ | TW-75%% %.3f mJ | saving %.1f%%\n",
+              dense_energy * 1e3, tw_energy * 1e3,
+              100.0 * (1.0 - tw_energy / dense_energy));
+  return 0;
+}

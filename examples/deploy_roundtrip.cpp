@@ -1,0 +1,58 @@
+// Deployment round-trip: the training side prunes and *serialises* the
+// compacted tiles; the inference side loads them back (no re-pruning)
+// and serves requests — optionally in INT8.  This is the artifact flow
+// a production integration of TW would use.
+
+#include <cstdio>
+
+#include "core/tile_exec.hpp"
+#include "io/serialize.hpp"
+#include "prune/tw_pruner.hpp"
+#include "quant/quant_gemm.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+using namespace tilesparse;
+
+int main() {
+  const char* pattern_path = "/tmp/tilesparse_demo_pattern.bin";
+  const char* tiles_path = "/tmp/tilesparse_demo_tiles.bin";
+
+  // ---- "training side": prune and export.
+  {
+    Rng rng(11);
+    MatrixF weights(512, 1024);
+    fill_normal(weights, rng);
+    TwPruneOptions options;
+    options.target_sparsity = 0.8;
+    options.g = 64;
+    options.stages = 3;
+    const TilePattern pattern = tw_prune_single(weights, options);
+    save_pattern(pattern_path, pattern);
+    save_tiles(tiles_path, compact_tiles(weights, pattern));
+    std::printf("exported: %.1f%% sparse, %zu tiles -> %s\n",
+                100.0 * pattern.sparsity(), pattern.tiles.size(), tiles_path);
+  }
+
+  // ---- "inference side": load and serve.
+  {
+    const TilePattern pattern = load_pattern(pattern_path);
+    const auto tiles = load_tiles(tiles_path);
+    std::printf("loaded:   %.1f%% sparse, %zu tiles\n",
+                100.0 * pattern.sparsity(), tiles.size());
+
+    Rng rng(12);
+    MatrixF activations(64, 512);
+    fill_normal(activations, rng);
+
+    const MatrixF fp32 = tw_matmul(activations, tiles, pattern.n);
+    const auto qtiles = quantize_tiles(tiles);
+    const MatrixF int8 = quant_tw_matmul(activations, qtiles, pattern.n);
+
+    std::printf("fp32 vs int8 output: max |diff| = %.4f "
+                "(output norm %.2f)\n",
+                max_abs_diff(fp32, int8),
+                frobenius_norm(fp32) / std::sqrt(fp32.size()));
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// NMT pruning example: the LSTM encoder-decoder proxy scored with BLEU,
+// mirroring the paper's NMT benchmark.  Demonstrates the finding that
+// the NMT model prefers fine granularity: TW loses more BLEU than on
+// classification tasks at high sparsity.
+
+#include <cstdio>
+
+#include "nn/prune_experiment.hpp"
+
+using namespace tilesparse;
+
+int main() {
+  std::puts("pre-training NmtMini on the sequence-reversal proxy...");
+  auto task = make_nmt_task(/*pretrain_steps=*/500);
+  const auto baseline = snapshot_params(task->prunable());
+  const double dense_bleu = task->evaluate();
+  std::printf("dense BLEU: %.2f\n\n", dense_bleu);
+
+  for (double sparsity : {0.4, 0.6, 0.8}) {
+    std::printf("sparsity %.0f%%:\n", sparsity * 100.0);
+    for (const auto kind :
+         {PatternKind::kEw, PatternKind::kTw, PatternKind::kVw}) {
+      restore_params(task->prunable(), baseline);
+      PatternSpec spec;
+      spec.kind = kind;
+      spec.sparsity = sparsity;
+      spec.g = 16;
+      spec.vector_len = 8;
+      const auto result = prune_and_evaluate(*task, spec, 100);
+      std::printf("  %-4s BLEU %.2f (drop %+.2f)\n", pattern_name(kind),
+                  result.metric, dense_bleu - result.metric);
+    }
+  }
+  return 0;
+}

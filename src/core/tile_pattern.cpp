@@ -1,0 +1,117 @@
+#include "core/tile_pattern.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace tilesparse {
+
+std::size_t TilePattern::kept_elements() const noexcept {
+  std::size_t total = 0;
+  for (const auto& tile : tiles) total += tile.kept_rows() * tile.width();
+  return total;
+}
+
+double TilePattern::sparsity() const noexcept {
+  const double total = static_cast<double>(k) * static_cast<double>(n);
+  if (total == 0) return 0.0;
+  return 1.0 - static_cast<double>(kept_elements()) / total;
+}
+
+std::size_t TilePattern::kept_columns() const noexcept {
+  std::size_t total = 0;
+  for (auto v : col_keep) total += v != 0;
+  return total;
+}
+
+double TilePattern::macs(std::size_t m) const noexcept {
+  double total = 0.0;
+  for (const auto& tile : tiles) {
+    total += static_cast<double>(m) * static_cast<double>(tile.kept_rows()) *
+             static_cast<double>(tile.width());
+  }
+  return total;
+}
+
+TilePattern full_pattern(std::size_t k, std::size_t n, std::size_t g) {
+  std::vector<std::uint8_t> keep(n, 1);
+  return reorganize_columns(k, n, g, keep);
+}
+
+TilePattern reorganize_columns(std::size_t k, std::size_t n, std::size_t g,
+                               const std::vector<std::uint8_t>& col_keep) {
+  if (g == 0) throw std::invalid_argument("reorganize_columns: g must be > 0");
+  if (col_keep.size() != n)
+    throw std::invalid_argument("reorganize_columns: col_keep size mismatch");
+
+  TilePattern pattern;
+  pattern.k = k;
+  pattern.n = n;
+  pattern.g = g;
+  pattern.col_keep = col_keep;
+
+  TwTile current;
+  for (std::size_t c = 0; c < n; ++c) {
+    if (!col_keep[c]) continue;
+    current.out_cols.push_back(static_cast<std::int32_t>(c));
+    if (current.out_cols.size() == g) {
+      current.row_keep.assign(k, 1);
+      pattern.tiles.push_back(std::move(current));
+      current = TwTile{};
+    }
+  }
+  if (!current.out_cols.empty()) {
+    current.row_keep.assign(k, 1);
+    pattern.tiles.push_back(std::move(current));
+  }
+  return pattern;
+}
+
+MatrixU8 pattern_to_mask(const TilePattern& pattern) {
+  MatrixU8 mask(pattern.k, pattern.n);
+  for (const auto& tile : pattern.tiles) {
+    for (std::size_t r = 0; r < pattern.k; ++r) {
+      if (!tile.row_keep[r]) continue;
+      for (auto c : tile.out_cols)
+        mask(r, static_cast<std::size_t>(c)) = 1;
+    }
+  }
+  return mask;
+}
+
+void apply_pattern(const TilePattern& pattern, MatrixF& weights) {
+  assert(weights.rows() == pattern.k && weights.cols() == pattern.n);
+  const MatrixU8 mask = pattern_to_mask(pattern);
+  float* w = weights.data();
+  const unsigned char* m = mask.data();
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    if (!m[i]) w[i] = 0.0f;
+}
+
+void validate_pattern(const TilePattern& pattern) {
+  if (pattern.col_keep.size() != pattern.n)
+    throw std::logic_error("col_keep size != n");
+  std::vector<std::uint8_t> seen(pattern.n, 0);
+  for (const auto& tile : pattern.tiles) {
+    if (tile.width() == 0) throw std::logic_error("empty tile");
+    if (tile.width() > pattern.g) throw std::logic_error("tile wider than G");
+    if (tile.row_keep.size() != pattern.k)
+      throw std::logic_error("row_keep size != k");
+    std::int32_t prev = -1;
+    for (auto c : tile.out_cols) {
+      if (c <= prev) throw std::logic_error("out_cols not ascending");
+      prev = c;
+      const auto idx = static_cast<std::size_t>(c);
+      if (idx >= pattern.n) throw std::logic_error("column index out of range");
+      if (!pattern.col_keep[idx])
+        throw std::logic_error("tile references pruned column");
+      if (seen[idx]) throw std::logic_error("column in two tiles");
+      seen[idx] = 1;
+    }
+  }
+  for (std::size_t c = 0; c < pattern.n; ++c) {
+    if (pattern.col_keep[c] && !seen[c])
+      throw std::logic_error("kept column not covered by any tile");
+  }
+}
+
+}  // namespace tilesparse

@@ -1,0 +1,81 @@
+#pragma once
+// The Tile-Wise (TW) sparsity pattern — the paper's primary contribution
+// (Sec. IV).
+//
+// A K x N weight matrix is processed in three steps:
+//  1. column pruning: entire columns are removed, a different number per
+//     G-wide tile (global importance ranking decides which);
+//  2. re-organization: the surviving columns are re-packed left-to-right
+//     into new tiles of width G (the last tile may be narrower) — this is
+//     what lets same-width tiles batch into one GEMM (paper Fig. 4-4);
+//  3. row pruning: within each re-organized tile, entire G-wide row
+//     segments are removed, a different number per tile.
+//
+// The result keeps per-tile regularity (a tile is a dense K_t x W_t
+// panel) while the *global* pattern stays irregular, which is the whole
+// trade-off the paper is built on.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace tilesparse {
+
+/// One re-organized tile of a TW pattern.
+struct TwTile {
+  /// Original column indices (into the K x N matrix) owned by this tile,
+  /// ascending.  Size is the tile width W_t <= G.
+  std::vector<std::int32_t> out_cols;
+  /// row_keep[k] != 0 iff original row k survives in this tile.  Size K.
+  std::vector<std::uint8_t> row_keep;
+
+  std::size_t width() const noexcept { return out_cols.size(); }
+  std::size_t kept_rows() const noexcept {
+    std::size_t n = 0;
+    for (auto v : row_keep) n += v != 0;
+    return n;
+  }
+};
+
+/// A complete TW pattern for one K x N weight matrix.
+struct TilePattern {
+  std::size_t k = 0;  ///< original row count (reduction dim)
+  std::size_t n = 0;  ///< original column count (output dim)
+  std::size_t g = 0;  ///< tile granularity G
+  /// col_keep[c] != 0 iff original column c survived column pruning. Size N.
+  std::vector<std::uint8_t> col_keep;
+  std::vector<TwTile> tiles;
+
+  /// Number of weight elements still present.
+  std::size_t kept_elements() const noexcept;
+  /// 1 - kept / (K*N).
+  double sparsity() const noexcept;
+  /// Kept columns across the matrix.
+  std::size_t kept_columns() const noexcept;
+  /// Multiply-accumulate count for C(M x N) = A(M x K) * W under this
+  /// pattern (sum over tiles of M * K_t * W_t).
+  double macs(std::size_t m) const noexcept;
+};
+
+/// Builds the trivial pattern that keeps everything (0% sparsity).
+TilePattern full_pattern(std::size_t k, std::size_t n, std::size_t g);
+
+/// Re-organizes the surviving columns of `col_keep` into tiles of width g
+/// with all rows kept.  Step 2 of the pipeline; row pruning then edits
+/// tiles[i].row_keep in place.
+TilePattern reorganize_columns(std::size_t k, std::size_t n, std::size_t g,
+                               const std::vector<std::uint8_t>& col_keep);
+
+/// Expands the pattern to a full K x N {0,1} element mask.
+MatrixU8 pattern_to_mask(const TilePattern& pattern);
+
+/// Zeroes all pruned elements of `weights` (K x N) in place.
+void apply_pattern(const TilePattern& pattern, MatrixF& weights);
+
+/// Validates internal consistency (every column in exactly one tile or
+/// pruned, mask sizes, ascending indices).  Throws std::logic_error on
+/// violation; used by tests and debug builds.
+void validate_pattern(const TilePattern& pattern);
+
+}  // namespace tilesparse

@@ -1,0 +1,51 @@
+#include "gemm/batched_gemm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tilesparse {
+
+namespace {
+constexpr std::size_t kRowBlock = 64;
+
+struct WorkItem {
+  std::size_t problem;
+  std::size_t row_begin;
+  std::size_t row_end;
+};
+}  // namespace
+
+void batched_gemm(const std::vector<GemmProblem>& problems) {
+  std::vector<WorkItem> items;
+  for (std::size_t p = 0; p < problems.size(); ++p) {
+    const auto& prob = problems[p];
+    assert(prob.a && prob.b && prob.c);
+    assert(prob.a->cols() == prob.b->rows());
+    assert(prob.c->rows() == prob.a->rows() && prob.c->cols() == prob.b->cols());
+    for (std::size_t r = 0; r < prob.a->rows(); r += kRowBlock) {
+      items.push_back({p, r, std::min(prob.a->rows(), r + kRowBlock)});
+    }
+  }
+
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t w = 0; w < items.size(); ++w) {
+    const auto& item = items[w];
+    const auto& prob = problems[item.problem];
+    const MatrixF& a = *prob.a;
+    const MatrixF& b = *prob.b;
+    MatrixF& c = *prob.c;
+    const std::size_t n = b.cols(), k = a.cols();
+    for (std::size_t i = item.row_begin; i < item.row_end; ++i) {
+      float* crow = c.data() + i * n;
+      const float* arow = a.data() + i * k;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = b.data() + kk * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace tilesparse

@@ -1,0 +1,31 @@
+#pragma once
+// Batched GEMM: many independent problems executed together.
+//
+// The paper batches same-width TW tiles into one batched-GEMM launch to
+// fix the load imbalance that variable tile widths introduce (Fig. 7-3),
+// and overlaps the remaining unequal groups with CUDA streams (Fig. 7-4).
+// On the CPU substrate, one batch = one parallel region over all
+// (problem, row-block) pairs, which gives the same property: the worker
+// pool is saturated even when individual problems are small.
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace tilesparse {
+
+/// One GEMM problem: c += a * b.  Pointers are non-owning; the caller
+/// guarantees shapes (a: m x k, b: k x n, c: m x n) and lifetimes.
+struct GemmProblem {
+  const MatrixF* a = nullptr;
+  const MatrixF* b = nullptr;
+  MatrixF* c = nullptr;
+};
+
+/// Executes all problems with one fork-join over (problem, row-block)
+/// work items.  Problems may have different shapes.  Each output matrix
+/// must be distinct (no aliasing between problems).
+void batched_gemm(const std::vector<GemmProblem>& problems);
+
+}  // namespace tilesparse

@@ -1,0 +1,108 @@
+#include "gemm/dense_gemm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "tensor/half.hpp"
+
+namespace tilesparse {
+namespace {
+
+// Register micro-tile: 4 rows x 16 columns of C per innermost iteration.
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 16;
+
+// Computes a (rows x cols) block of C (rows <= kMr, cols <= kNr) from a
+// packed A panel (kc x kMr column-major-ish: a_panel[k*kMr + r]) and the
+// untransformed B rows.
+void micro_kernel(std::size_t kc, const float* a_panel, const float* b,
+                  std::size_t ldb, float* c, std::size_t ldc, std::size_t rows,
+                  std::size_t cols) {
+  float acc[kMr][kNr] = {};
+  for (std::size_t k = 0; k < kc; ++k) {
+    const float* brow = b + k * ldb;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const float a = a_panel[k * kMr + r];
+      for (std::size_t j = 0; j < kNr; ++j) acc[r][j] += a * brow[j];
+    }
+  }
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t j = 0; j < cols; ++j) c[r * ldc + j] += acc[r][j];
+}
+
+// Edge-safe kernel for ragged N tails (cols < kNr handled by caller copy,
+// here we just guard loads/stores).
+void micro_kernel_edge(std::size_t kc, const float* a_panel, const float* b,
+                       std::size_t ldb, float* c, std::size_t ldc,
+                       std::size_t rows, std::size_t cols) {
+  float acc[kMr][kNr] = {};
+  for (std::size_t k = 0; k < kc; ++k) {
+    const float* brow = b + k * ldb;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float a = a_panel[k * kMr + r];
+      for (std::size_t j = 0; j < cols; ++j) acc[r][j] += a * brow[j];
+    }
+  }
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t j = 0; j < cols; ++j) c[r * ldc + j] += acc[r][j];
+}
+
+}  // namespace
+
+void dense_gemm(const MatrixF& a, const MatrixF& b, MatrixF& c, float alpha,
+                float beta, const GemmConfig& config) {
+  assert(a.cols() == b.rows());
+  assert(c.rows() == a.rows() && c.cols() == b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+
+  if (beta == 0.0f) {
+    c.fill(0.0f);
+  } else if (beta != 1.0f) {
+    for (float& v : c.flat()) v *= beta;
+  }
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
+
+  const std::size_t mc = std::max<std::size_t>(kMr, config.mc);
+  const std::size_t kcap = std::max<std::size_t>(1, config.kc);
+  const std::size_t row_blocks = (m + mc - 1) / mc;
+
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t rb = 0; rb < row_blocks; ++rb) {
+    const std::size_t i0 = rb * mc;
+    const std::size_t i1 = std::min(m, i0 + mc);
+    std::vector<float> a_panel(kcap * kMr);
+
+    for (std::size_t k0 = 0; k0 < k; k0 += kcap) {
+      const std::size_t kb = std::min(kcap, k - k0);
+      for (std::size_t i = i0; i < i1; i += kMr) {
+        const std::size_t rows = std::min(kMr, i1 - i);
+        // Pack the A micro-panel: a_panel[kk*kMr + r] = alpha * A(i+r, k0+kk).
+        for (std::size_t kk = 0; kk < kb; ++kk) {
+          for (std::size_t r = 0; r < kMr; ++r) {
+            float v = (r < rows) ? a(i + r, k0 + kk) : 0.0f;
+            if (config.fp16_inputs) v = round_to_half(v);
+            a_panel[kk * kMr + r] = alpha * v;
+          }
+        }
+        const float* bbase = b.data() + k0 * n;
+        std::size_t j = 0;
+        for (; j + kNr <= n; j += kNr) {
+          micro_kernel(kb, a_panel.data(), bbase + j, n, &c(i, j), n, rows, kNr);
+        }
+        if (j < n) {
+          micro_kernel_edge(kb, a_panel.data(), bbase + j, n, &c(i, j), n, rows,
+                            n - j);
+        }
+      }
+    }
+  }
+}
+
+MatrixF matmul(const MatrixF& a, const MatrixF& b, const GemmConfig& config) {
+  MatrixF c(a.rows(), b.cols());
+  dense_gemm(a, b, c, 1.0f, 0.0f, config);
+  return c;
+}
+
+}  // namespace tilesparse

@@ -1,0 +1,39 @@
+#pragma once
+// Blocked, multithreaded dense GEMM — the CPU stand-in for the GPU's
+// dense GEMM pipeline (cuBLAS / CUTLASS on tensor cores).
+//
+// The kernel mirrors the three-level tiling CUTLASS uses (paper Sec. VI):
+//   * outer M/N blocking  -> "thread block tile" (one per pool worker/SM)
+//   * K blocking          -> "warp tile" panel resident in L1/L2
+//   * 4x16 register tile  -> "thread fragment" kept in registers
+//
+// Parallelism is OpenMP over output row-blocks, matching the
+// one-output-tile-per-SM mapping the paper builds its sparsity on.
+
+#include <cstddef>
+
+#include "tensor/matrix.hpp"
+
+namespace tilesparse {
+
+struct GemmConfig {
+  std::size_t mc = 64;   ///< rows of A packed per panel
+  std::size_t kc = 256;  ///< K-extent of a panel
+  bool fp16_inputs = false;  ///< round A/B through binary16 (tensor-core numerics)
+};
+
+/// C = alpha * A(MxK) * B(KxN) + beta * C.  C must be MxN.
+void dense_gemm(const MatrixF& a, const MatrixF& b, MatrixF& c,
+                float alpha = 1.0f, float beta = 0.0f,
+                const GemmConfig& config = {});
+
+/// Convenience allocating wrapper: returns A*B.
+MatrixF matmul(const MatrixF& a, const MatrixF& b, const GemmConfig& config = {});
+
+/// Floating-point operation count of an MxNxK GEMM (2*M*N*K).
+constexpr double gemm_flops(std::size_t m, std::size_t n, std::size_t k) noexcept {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+}  // namespace tilesparse

@@ -1,0 +1,101 @@
+#include "gemm/masked_gemm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "tensor/half.hpp"
+
+namespace tilesparse {
+
+void masked_gemm_gather(const MatrixF& a, const MaskedTile& tile, MatrixF& c) {
+  const std::size_t m = a.rows();
+  const std::size_t kt = tile.kept_rows.size();
+  const std::size_t wt = tile.out_cols.size();
+  assert(tile.weights.rows() == kt && tile.weights.cols() == wt);
+
+  std::vector<float> acc(wt);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::fill(acc.begin(), acc.end(), 0.0f);
+    for (std::size_t t = 0; t < kt; ++t) {
+      // Indexed load: A(i, kept_rows[t]) — the uncoalesced access the
+      // paper eliminates via transposition.
+      const float av = a(i, static_cast<std::size_t>(tile.kept_rows[t]));
+      const float* wrow = tile.weights.data() + t * wt;
+      for (std::size_t j = 0; j < wt; ++j) acc[j] += av * wrow[j];
+    }
+    for (std::size_t j = 0; j < wt; ++j)
+      c(i, static_cast<std::size_t>(tile.out_cols[j])) += acc[j];
+  }
+}
+
+void masked_gemm_packed(const MatrixF& a, const MaskedTile& tile, MatrixF& c,
+                        bool fp16_inputs) {
+  const std::size_t m = a.rows();
+  const std::size_t kt = tile.kept_rows.size();
+  const std::size_t wt = tile.out_cols.size();
+  assert(tile.weights.rows() == kt && tile.weights.cols() == wt);
+  if (kt == 0 || wt == 0) return;
+
+  constexpr std::size_t kRowBlock = 32;
+  std::vector<float> panel(kRowBlock * kt);
+  std::vector<float> acc_block(kRowBlock * wt);
+
+  for (std::size_t i0 = 0; i0 < m; i0 += kRowBlock) {
+    const std::size_t rows = std::min(kRowBlock, m - i0);
+    // Pack: panel[r * kt + t] = A(i0 + r, kept_rows[t]).  After packing,
+    // the inner loops are fully contiguous — this is the CPU equivalent
+    // of the transpose trick restoring coalesced loads.
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* arow = a.data() + (i0 + r) * a.cols();
+      float* prow = panel.data() + r * kt;
+      for (std::size_t t = 0; t < kt; ++t) {
+        float v = arow[tile.kept_rows[t]];
+        prow[t] = fp16_inputs ? round_to_half(v) : v;
+      }
+    }
+    std::fill(acc_block.begin(), acc_block.begin() + rows * wt, 0.0f);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* prow = panel.data() + r * kt;
+      float* arow = acc_block.data() + r * wt;
+      for (std::size_t t = 0; t < kt; ++t) {
+        const float av = prow[t];
+        if (av == 0.0f) continue;
+        const float* wrow = tile.weights.data() + t * wt;
+        for (std::size_t j = 0; j < wt; ++j) arow[j] += av * wrow[j];
+      }
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* arow = acc_block.data() + r * wt;
+      float* crow = c.data() + (i0 + r) * c.cols();
+      for (std::size_t j = 0; j < wt; ++j)
+        crow[tile.out_cols[j]] += arow[j];
+    }
+  }
+}
+
+void masked_gemm_all(const MatrixF& a, const std::vector<MaskedTile>& tiles,
+                     MatrixF& c, bool fp16_inputs) {
+  // Tiles write disjoint C columns (out_cols never overlap across tiles
+  // of one weight matrix), so the loop is safely parallel.
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    masked_gemm_packed(a, tiles[t], c, fp16_inputs);
+  }
+}
+
+MatrixF tiles_to_dense(const std::vector<MaskedTile>& tiles, std::size_t k,
+                       std::size_t n) {
+  MatrixF dense(k, n);
+  for (const auto& tile : tiles) {
+    for (std::size_t t = 0; t < tile.kept_rows.size(); ++t) {
+      for (std::size_t j = 0; j < tile.out_cols.size(); ++j) {
+        dense(static_cast<std::size_t>(tile.kept_rows[t]),
+              static_cast<std::size_t>(tile.out_cols[j])) = tile.weights(t, j);
+      }
+    }
+  }
+  return dense;
+}
+
+}  // namespace tilesparse

@@ -1,0 +1,194 @@
+#include "io/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace tilesparse {
+namespace {
+
+constexpr std::uint32_t kMagicMatrix = 0x54534d46;   // "TSMF"
+constexpr std::uint32_t kMagicPattern = 0x54535450;  // "TSTP"
+constexpr std::uint32_t kMagicTiles = 0x5453544c;    // "TSTL"
+constexpr std::uint32_t kMagicCsr = 0x54534352;      // "TSCR"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("tilesparse::io: short read");
+  return value;
+}
+
+template <typename T>
+void write_vector(std::ostream& out, const std::vector<T>& v) {
+  write_pod<std::uint64_t>(out, v.size());
+  if (!v.empty())
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& in) {
+  const auto size = read_pod<std::uint64_t>(in);
+  std::vector<T> v(size);
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(size * sizeof(T)));
+    if (!in) throw std::runtime_error("tilesparse::io: short read");
+  }
+  return v;
+}
+
+void write_header(std::ostream& out, std::uint32_t magic) {
+  write_pod(out, magic);
+  write_pod(out, kVersion);
+}
+
+void check_header(std::istream& in, std::uint32_t magic) {
+  if (read_pod<std::uint32_t>(in) != magic)
+    throw std::runtime_error("tilesparse::io: bad magic");
+  if (read_pod<std::uint32_t>(in) != kVersion)
+    throw std::runtime_error("tilesparse::io: unsupported version");
+}
+
+}  // namespace
+
+void write_matrix(std::ostream& out, const MatrixF& m) {
+  write_header(out, kMagicMatrix);
+  write_pod<std::uint64_t>(out, m.rows());
+  write_pod<std::uint64_t>(out, m.cols());
+  if (!m.empty())
+    out.write(reinterpret_cast<const char*>(m.data()),
+              static_cast<std::streamsize>(m.size() * sizeof(float)));
+}
+
+MatrixF read_matrix(std::istream& in) {
+  check_header(in, kMagicMatrix);
+  const auto rows = read_pod<std::uint64_t>(in);
+  const auto cols = read_pod<std::uint64_t>(in);
+  MatrixF m(rows, cols);
+  if (!m.empty()) {
+    in.read(reinterpret_cast<char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(float)));
+    if (!in) throw std::runtime_error("tilesparse::io: short read");
+  }
+  return m;
+}
+
+void write_pattern(std::ostream& out, const TilePattern& pattern) {
+  write_header(out, kMagicPattern);
+  write_pod<std::uint64_t>(out, pattern.k);
+  write_pod<std::uint64_t>(out, pattern.n);
+  write_pod<std::uint64_t>(out, pattern.g);
+  write_vector(out, pattern.col_keep);
+  write_pod<std::uint64_t>(out, pattern.tiles.size());
+  for (const auto& tile : pattern.tiles) {
+    write_vector(out, tile.out_cols);
+    write_vector(out, tile.row_keep);
+  }
+}
+
+TilePattern read_pattern(std::istream& in) {
+  check_header(in, kMagicPattern);
+  TilePattern pattern;
+  pattern.k = read_pod<std::uint64_t>(in);
+  pattern.n = read_pod<std::uint64_t>(in);
+  pattern.g = read_pod<std::uint64_t>(in);
+  pattern.col_keep = read_vector<std::uint8_t>(in);
+  const auto tile_count = read_pod<std::uint64_t>(in);
+  pattern.tiles.resize(tile_count);
+  for (auto& tile : pattern.tiles) {
+    tile.out_cols = read_vector<std::int32_t>(in);
+    tile.row_keep = read_vector<std::uint8_t>(in);
+  }
+  validate_pattern(pattern);  // never trust a file
+  return pattern;
+}
+
+void write_tiles(std::ostream& out, const std::vector<MaskedTile>& tiles) {
+  write_header(out, kMagicTiles);
+  write_pod<std::uint64_t>(out, tiles.size());
+  for (const auto& tile : tiles) {
+    write_vector(out, tile.kept_rows);
+    write_vector(out, tile.out_cols);
+    write_matrix(out, tile.weights);
+  }
+}
+
+std::vector<MaskedTile> read_tiles(std::istream& in) {
+  check_header(in, kMagicTiles);
+  const auto count = read_pod<std::uint64_t>(in);
+  std::vector<MaskedTile> tiles(count);
+  for (auto& tile : tiles) {
+    tile.kept_rows = read_vector<std::int32_t>(in);
+    tile.out_cols = read_vector<std::int32_t>(in);
+    tile.weights = read_matrix(in);
+    if (tile.weights.rows() != tile.kept_rows.size() ||
+        tile.weights.cols() != tile.out_cols.size())
+      throw std::runtime_error("tilesparse::io: inconsistent tile");
+  }
+  return tiles;
+}
+
+void write_csr(std::ostream& out, const Csr& m) {
+  write_header(out, kMagicCsr);
+  write_pod<std::uint64_t>(out, m.rows);
+  write_pod<std::uint64_t>(out, m.cols);
+  write_vector(out, m.row_ptr);
+  write_vector(out, m.col_idx);
+  write_vector(out, m.values);
+}
+
+Csr read_csr(std::istream& in) {
+  check_header(in, kMagicCsr);
+  Csr m;
+  m.rows = read_pod<std::uint64_t>(in);
+  m.cols = read_pod<std::uint64_t>(in);
+  m.row_ptr = read_vector<std::int64_t>(in);
+  m.col_idx = read_vector<std::int32_t>(in);
+  m.values = read_vector<float>(in);
+  if (m.row_ptr.size() != m.rows + 1 || m.col_idx.size() != m.values.size())
+    throw std::runtime_error("tilesparse::io: inconsistent CSR");
+  return m;
+}
+
+namespace {
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("tilesparse::io: cannot open " + path);
+  return out;
+}
+std::ifstream open_in(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("tilesparse::io: cannot open " + path);
+  return in;
+}
+}  // namespace
+
+void save_pattern(const std::string& path, const TilePattern& pattern) {
+  auto out = open_out(path);
+  write_pattern(out, pattern);
+}
+TilePattern load_pattern(const std::string& path) {
+  auto in = open_in(path);
+  return read_pattern(in);
+}
+void save_tiles(const std::string& path, const std::vector<MaskedTile>& tiles) {
+  auto out = open_out(path);
+  write_tiles(out, tiles);
+}
+std::vector<MaskedTile> load_tiles(const std::string& path) {
+  auto in = open_in(path);
+  return read_tiles(in);
+}
+
+}  // namespace tilesparse

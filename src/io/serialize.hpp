@@ -1,0 +1,38 @@
+#pragma once
+// Binary serialization for deployment artifacts: a pruned model ships
+// its TilePatterns and compacted tiles to the inference side, which
+// must not redo the (training-time) pruning.  Format: little-endian,
+// magic + version header per object, size-prefixed arrays.  Errors
+// (short reads, bad magic, version mismatch) throw std::runtime_error.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/tile_pattern.hpp"
+#include "gemm/masked_gemm.hpp"
+#include "sparse/csr.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tilesparse {
+
+// Streams.
+void write_matrix(std::ostream& out, const MatrixF& m);
+MatrixF read_matrix(std::istream& in);
+
+void write_pattern(std::ostream& out, const TilePattern& pattern);
+TilePattern read_pattern(std::istream& in);
+
+void write_tiles(std::ostream& out, const std::vector<MaskedTile>& tiles);
+std::vector<MaskedTile> read_tiles(std::istream& in);
+
+void write_csr(std::ostream& out, const Csr& m);
+Csr read_csr(std::istream& in);
+
+// File convenience wrappers.
+void save_pattern(const std::string& path, const TilePattern& pattern);
+TilePattern load_pattern(const std::string& path);
+void save_tiles(const std::string& path, const std::vector<MaskedTile>& tiles);
+std::vector<MaskedTile> load_tiles(const std::string& path);
+
+}  // namespace tilesparse

@@ -1,0 +1,157 @@
+#include "nn/attention.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace tilesparse {
+namespace {
+
+/// Softmax over each row of a seq x seq score block, in place.
+void softmax_inplace(MatrixF& scores) {
+  for (std::size_t r = 0; r < scores.rows(); ++r) {
+    float* row = scores.data() + r * scores.cols();
+    float maxv = row[0];
+    for (std::size_t c = 1; c < scores.cols(); ++c)
+      maxv = std::max(maxv, row[c]);
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < scores.cols(); ++c) {
+      row[c] = std::exp(row[c] - maxv);
+      sum += row[c];
+    }
+    const float inv = 1.0f / sum;
+    for (std::size_t c = 0; c < scores.cols(); ++c) row[c] *= inv;
+  }
+}
+
+}  // namespace
+
+MultiHeadAttention::MultiHeadAttention(std::string name, std::size_t dim,
+                                       std::size_t heads, std::size_t seq,
+                                       Rng& rng)
+    : dim_(dim),
+      heads_(heads),
+      seq_(seq),
+      head_dim_(dim / heads),
+      q_(name + ".q", dim, dim, rng),
+      k_(name + ".k", dim, dim, rng),
+      v_(name + ".v", dim, dim, rng),
+      out_(name + ".out", dim, dim, rng) {
+  assert(dim % heads == 0);
+}
+
+std::vector<Param*> MultiHeadAttention::params() {
+  std::vector<Param*> all;
+  for (Layer* l : {static_cast<Layer*>(&q_), static_cast<Layer*>(&k_),
+                   static_cast<Layer*>(&v_), static_cast<Layer*>(&out_)}) {
+    for (Param* p : l->params()) all.push_back(p);
+  }
+  return all;
+}
+
+std::vector<Param*> MultiHeadAttention::projection_weights() {
+  return {&q_.weight(), &k_.weight(), &v_.weight(), &out_.weight()};
+}
+
+MatrixF MultiHeadAttention::forward(const MatrixF& x) {
+  assert(x.cols() == dim_ && x.rows() % seq_ == 0);
+  const std::size_t batch = x.rows() / seq_;
+
+  q_act_ = q_.forward(x);
+  k_act_ = k_.forward(x);
+  v_act_ = v_.forward(x);
+
+  MatrixF context(x.rows(), dim_);
+  attn_.assign(batch * heads_, MatrixF{});
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t h = 0; h < heads_; ++h) {
+      const std::size_t col0 = h * head_dim_;
+      // scores(s, t) = scale * <q_s, k_t> over this head's columns.
+      MatrixF scores(seq_, seq_);
+      for (std::size_t s = 0; s < seq_; ++s) {
+        const float* qrow = q_act_.data() + (b * seq_ + s) * dim_ + col0;
+        for (std::size_t t = 0; t < seq_; ++t) {
+          const float* krow = k_act_.data() + (b * seq_ + t) * dim_ + col0;
+          float dot = 0.0f;
+          for (std::size_t d = 0; d < head_dim_; ++d) dot += qrow[d] * krow[d];
+          scores(s, t) = dot * scale;
+        }
+      }
+      softmax_inplace(scores);
+      // context rows = probs * V.
+      for (std::size_t s = 0; s < seq_; ++s) {
+        float* crow = context.data() + (b * seq_ + s) * dim_ + col0;
+        for (std::size_t t = 0; t < seq_; ++t) {
+          const float p = scores(s, t);
+          const float* vrow = v_act_.data() + (b * seq_ + t) * dim_ + col0;
+          for (std::size_t d = 0; d < head_dim_; ++d) crow[d] += p * vrow[d];
+        }
+      }
+      attn_[b * heads_ + h] = std::move(scores);
+    }
+  }
+  return out_.forward(context);
+}
+
+MatrixF MultiHeadAttention::backward(const MatrixF& dy) {
+  const std::size_t batch = dy.rows() / seq_;
+  const MatrixF dcontext = out_.backward(dy);
+
+  MatrixF dq(dy.rows(), dim_), dk(dy.rows(), dim_), dv(dy.rows(), dim_);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t h = 0; h < heads_; ++h) {
+      const std::size_t col0 = h * head_dim_;
+      const MatrixF& probs = attn_[b * heads_ + h];
+
+      // dprobs(s, t) = <dcontext_s, v_t>;  dv_t += sum_s probs(s,t) dcontext_s.
+      MatrixF dprobs(seq_, seq_);
+      for (std::size_t s = 0; s < seq_; ++s) {
+        const float* dcrow = dcontext.data() + (b * seq_ + s) * dim_ + col0;
+        for (std::size_t t = 0; t < seq_; ++t) {
+          const float* vrow = v_act_.data() + (b * seq_ + t) * dim_ + col0;
+          float dot = 0.0f;
+          for (std::size_t d = 0; d < head_dim_; ++d) dot += dcrow[d] * vrow[d];
+          dprobs(s, t) = dot;
+          float* dvrow = dv.data() + (b * seq_ + t) * dim_ + col0;
+          const float p = probs(s, t);
+          for (std::size_t d = 0; d < head_dim_; ++d) dvrow[d] += p * dcrow[d];
+        }
+      }
+      // Softmax backward: dscore = p .* (dprob - sum_t p*dprob).
+      MatrixF dscores(seq_, seq_);
+      for (std::size_t s = 0; s < seq_; ++s) {
+        float dot = 0.0f;
+        for (std::size_t t = 0; t < seq_; ++t)
+          dot += probs(s, t) * dprobs(s, t);
+        for (std::size_t t = 0; t < seq_; ++t)
+          dscores(s, t) = probs(s, t) * (dprobs(s, t) - dot);
+      }
+      // dq_s += scale * sum_t dscore(s,t) k_t;  dk_t += scale * sum_s dscore(s,t) q_s.
+      for (std::size_t s = 0; s < seq_; ++s) {
+        float* dqrow = dq.data() + (b * seq_ + s) * dim_ + col0;
+        const float* qrow = q_act_.data() + (b * seq_ + s) * dim_ + col0;
+        for (std::size_t t = 0; t < seq_; ++t) {
+          const float ds = dscores(s, t) * scale;
+          const float* krow = k_act_.data() + (b * seq_ + t) * dim_ + col0;
+          float* dkrow = dk.data() + (b * seq_ + t) * dim_ + col0;
+          for (std::size_t d = 0; d < head_dim_; ++d) {
+            dqrow[d] += ds * krow[d];
+            dkrow[d] += ds * qrow[d];
+          }
+        }
+      }
+    }
+  }
+
+  MatrixF dx = q_.backward(dq);
+  const MatrixF dxk = k_.backward(dk);
+  const MatrixF dxv = v_.backward(dv);
+  for (std::size_t i = 0; i < dx.size(); ++i)
+    dx.data()[i] += dxk.data()[i] + dxv.data()[i];
+  return dx;
+}
+
+}  // namespace tilesparse

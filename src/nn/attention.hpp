@@ -1,0 +1,32 @@
+#pragma once
+// Multi-head self-attention (the MHA block of paper Fig. 1) with full
+// backward.  Input/output are (batch * seq) x dim row blocks.
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace tilesparse {
+
+class MultiHeadAttention : public Layer {
+ public:
+  MultiHeadAttention(std::string name, std::size_t dim, std::size_t heads,
+                     std::size_t seq, Rng& rng);
+
+  MatrixF forward(const MatrixF& x) override;
+  MatrixF backward(const MatrixF& dy) override;
+  std::vector<Param*> params() override;
+
+  /// The four prunable projection weights (Q, K, V, output).
+  std::vector<Param*> projection_weights();
+
+ private:
+  std::size_t dim_, heads_, seq_, head_dim_;
+  Linear q_, k_, v_, out_;
+  // Cached activations for backward.
+  MatrixF q_act_, k_act_, v_act_;
+  std::vector<MatrixF> attn_;  ///< softmax probabilities per (batch, head)
+};
+
+}  // namespace tilesparse

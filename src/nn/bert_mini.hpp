@@ -1,0 +1,63 @@
+#pragma once
+// BertMini — the scaled-down BERT proxy (see DESIGN.md substitutions).
+// Pre-LN transformer encoder: per layer MHA + FFN with residuals, then
+// mean-pool and a classifier head.  The prunable matrices mirror BERT's
+// structure: 6 weight GEMMs per layer (Q, K, V, attention-out, FFN-in,
+// FFN-out), which is what paper Fig. 5 counts.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "nn/attention.hpp"
+#include "nn/layers.hpp"
+#include "workload/datasets.hpp"
+
+namespace tilesparse {
+
+struct BertMiniConfig {
+  std::size_t dim = 64;
+  std::size_t heads = 4;
+  std::size_t layers = 2;
+  std::size_t ffn_dim = 256;
+  std::size_t seq = 16;
+  std::size_t classes = 4;
+  std::uint64_t seed = 1;
+};
+
+class BertMini {
+ public:
+  BertMini(const BertMiniConfig& config, const MatrixF& embedding_table);
+
+  /// Tokens: batch * seq ids.  Returns batch x classes logits.
+  MatrixF forward(const TokenBatch& batch);
+  /// dlogits from the loss; propagates through the whole stack.
+  void backward(const MatrixF& dlogits);
+
+  std::vector<Param*> params();
+  /// The prunable weight matrices (6 per layer + classifier weight).
+  std::vector<Param*> prunable_weights();
+
+  const BertMiniConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<LayerNorm> ln1;
+    std::unique_ptr<MultiHeadAttention> attn;
+    std::unique_ptr<LayerNorm> ln2;
+    std::unique_ptr<Linear> ffn_in;
+    std::unique_ptr<Gelu> gelu;
+    std::unique_ptr<Linear> ffn_out;
+    MatrixF x_attn_in, x_ffn_in;  // residual caches
+  };
+
+  BertMiniConfig config_;
+  Embedding embedding_;
+  Param pos_embedding_;  ///< seq x dim, learned
+  std::vector<Block> blocks_;
+  MeanPoolRows pool_;
+  std::unique_ptr<Linear> classifier_;
+  std::size_t last_batch_ = 0;
+};
+
+}  // namespace tilesparse

@@ -1,0 +1,179 @@
+#include "nn/conv.hpp"
+
+#include <cassert>
+
+#include "gemm/dense_gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace tilesparse {
+
+Conv3x3::Conv3x3(std::string name, std::size_t in_channels,
+                 std::size_t out_channels, std::size_t height,
+                 std::size_t width, Rng& rng)
+    : c_in_(in_channels),
+      c_out_(out_channels),
+      h_(height),
+      w_(width),
+      weight_(name + ".w", in_channels * 9, out_channels),
+      bias_(name + ".b", 1, out_channels) {
+  fill_kaiming(weight_.value, rng);
+}
+
+MatrixF Conv3x3::im2col(const MatrixF& x) const {
+  const std::size_t batch = x.rows();
+  const std::size_t patch = c_in_ * 9;
+  MatrixF cols(batch * h_ * w_, patch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* img = x.data() + b * x.cols();
+    for (std::size_t r = 0; r < h_; ++r) {
+      for (std::size_t c = 0; c < w_; ++c) {
+        float* out = cols.data() + ((b * h_ + r) * w_ + c) * patch;
+        std::size_t idx = 0;
+        for (std::size_t ch = 0; ch < c_in_; ++ch) {
+          const float* plane = img + ch * h_ * w_;
+          for (int dr = -1; dr <= 1; ++dr) {
+            for (int dc = -1; dc <= 1; ++dc, ++idx) {
+              const auto rr = static_cast<std::ptrdiff_t>(r) + dr;
+              const auto cc = static_cast<std::ptrdiff_t>(c) + dc;
+              out[idx] = (rr >= 0 && cc >= 0 &&
+                          rr < static_cast<std::ptrdiff_t>(h_) &&
+                          cc < static_cast<std::ptrdiff_t>(w_))
+                             ? plane[static_cast<std::size_t>(rr) * w_ +
+                                     static_cast<std::size_t>(cc)]
+                             : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+MatrixF Conv3x3::col2im(const MatrixF& cols) const {
+  const std::size_t patch = c_in_ * 9;
+  const std::size_t batch = cols.rows() / (h_ * w_);
+  MatrixF x(batch, c_in_ * h_ * w_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    float* img = x.data() + b * x.cols();
+    for (std::size_t r = 0; r < h_; ++r) {
+      for (std::size_t c = 0; c < w_; ++c) {
+        const float* in = cols.data() + ((b * h_ + r) * w_ + c) * patch;
+        std::size_t idx = 0;
+        for (std::size_t ch = 0; ch < c_in_; ++ch) {
+          float* plane = img + ch * h_ * w_;
+          for (int dr = -1; dr <= 1; ++dr) {
+            for (int dc = -1; dc <= 1; ++dc, ++idx) {
+              const auto rr = static_cast<std::ptrdiff_t>(r) + dr;
+              const auto cc = static_cast<std::ptrdiff_t>(c) + dc;
+              if (rr >= 0 && cc >= 0 && rr < static_cast<std::ptrdiff_t>(h_) &&
+                  cc < static_cast<std::ptrdiff_t>(w_)) {
+                plane[static_cast<std::size_t>(rr) * w_ +
+                      static_cast<std::size_t>(cc)] += in[idx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return x;
+}
+
+MatrixF Conv3x3::forward(const MatrixF& x) {
+  assert(x.cols() == c_in_ * h_ * w_);
+  cols_ = im2col(x);
+  // (B*H*W) x (C_in*9) times (C_in*9) x C_out.
+  MatrixF flat = matmul(cols_, weight_.value);
+  const float* bias = bias_.value.data();
+  // Repack to channel-major flattened images: out(b, ch*H*W + p).
+  const std::size_t batch = x.rows();
+  MatrixF y(batch, c_out_ * h_ * w_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t p = 0; p < h_ * w_; ++p) {
+      const float* frow = flat.data() + (b * h_ * w_ + p) * c_out_;
+      float* img = y.data() + b * y.cols();
+      for (std::size_t ch = 0; ch < c_out_; ++ch)
+        img[ch * h_ * w_ + p] = frow[ch] + bias[ch];
+    }
+  }
+  return y;
+}
+
+MatrixF Conv3x3::backward(const MatrixF& dy) {
+  const std::size_t batch = dy.rows();
+  // Unpack channel-major dy back to (B*H*W) x C_out.
+  MatrixF dflat(batch * h_ * w_, c_out_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* img = dy.data() + b * dy.cols();
+    for (std::size_t p = 0; p < h_ * w_; ++p) {
+      float* frow = dflat.data() + (b * h_ * w_ + p) * c_out_;
+      for (std::size_t ch = 0; ch < c_out_; ++ch)
+        frow[ch] = img[ch * h_ * w_ + p];
+    }
+  }
+  // dW += cols^T dflat;  db += colsum;  dcols = dflat W^T.
+  const MatrixF colst = transposed(cols_);
+  const MatrixF dw = matmul(colst, dflat);
+  for (std::size_t i = 0; i < dw.size(); ++i)
+    weight_.grad.data()[i] += dw.data()[i];
+  for (std::size_t r = 0; r < dflat.rows(); ++r) {
+    const float* row = dflat.data() + r * c_out_;
+    for (std::size_t c = 0; c < c_out_; ++c) bias_.grad.data()[c] += row[c];
+  }
+  const MatrixF wt = transposed(weight_.value);
+  const MatrixF dcols = matmul(dflat, wt);
+  return col2im(dcols);
+}
+
+AvgPool2::AvgPool2(std::size_t channels, std::size_t height, std::size_t width)
+    : c_(channels), h_(height), w_(width) {
+  assert(height % 2 == 0 && width % 2 == 0);
+}
+
+MatrixF AvgPool2::forward(const MatrixF& x) {
+  assert(x.cols() == c_ * h_ * w_);
+  const std::size_t oh = h_ / 2, ow = w_ / 2;
+  MatrixF y(x.rows(), c_ * oh * ow);
+  for (std::size_t b = 0; b < x.rows(); ++b) {
+    const float* img = x.data() + b * x.cols();
+    float* out = y.data() + b * y.cols();
+    for (std::size_t ch = 0; ch < c_; ++ch) {
+      const float* plane = img + ch * h_ * w_;
+      float* oplane = out + ch * oh * ow;
+      for (std::size_t r = 0; r < oh; ++r)
+        for (std::size_t c = 0; c < ow; ++c)
+          oplane[r * ow + c] =
+              0.25f * (plane[(2 * r) * w_ + 2 * c] +
+                       plane[(2 * r) * w_ + 2 * c + 1] +
+                       plane[(2 * r + 1) * w_ + 2 * c] +
+                       plane[(2 * r + 1) * w_ + 2 * c + 1]);
+    }
+  }
+  return y;
+}
+
+MatrixF AvgPool2::backward(const MatrixF& dy) {
+  const std::size_t oh = h_ / 2, ow = w_ / 2;
+  MatrixF dx(dy.rows(), c_ * h_ * w_);
+  for (std::size_t b = 0; b < dy.rows(); ++b) {
+    const float* din = dy.data() + b * dy.cols();
+    float* dimg = dx.data() + b * dx.cols();
+    for (std::size_t ch = 0; ch < c_; ++ch) {
+      const float* dplane = din + ch * oh * ow;
+      float* dxplane = dimg + ch * h_ * w_;
+      for (std::size_t r = 0; r < oh; ++r) {
+        for (std::size_t c = 0; c < ow; ++c) {
+          const float g = 0.25f * dplane[r * ow + c];
+          dxplane[(2 * r) * w_ + 2 * c] = g;
+          dxplane[(2 * r) * w_ + 2 * c + 1] = g;
+          dxplane[(2 * r + 1) * w_ + 2 * c] = g;
+          dxplane[(2 * r + 1) * w_ + 2 * c + 1] = g;
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+}  // namespace tilesparse

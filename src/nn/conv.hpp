@@ -1,0 +1,49 @@
+#pragma once
+// 3x3 same-padding convolution lowered to GEMM via im2col — exactly how
+// the paper prunes VGG ("we prune its weight matrix after applying the
+// im2col method", Sec. VII-A): the prunable weight is the
+// (C_in*9) x C_out matrix the lowered GEMM multiplies.
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace tilesparse {
+
+/// Input layout: each batch row of the activation matrix is a flattened
+/// C x H x W image (channel-major).  Output likewise with C_out channels.
+class Conv3x3 : public Layer {
+ public:
+  Conv3x3(std::string name, std::size_t in_channels, std::size_t out_channels,
+          std::size_t height, std::size_t width, Rng& rng);
+
+  MatrixF forward(const MatrixF& x) override;
+  MatrixF backward(const MatrixF& dy) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+
+  Param& weight() noexcept { return weight_; }
+
+ private:
+  MatrixF im2col(const MatrixF& x) const;      ///< (B*H*W) x (C_in*9)
+  MatrixF col2im(const MatrixF& cols) const;   ///< inverse scatter-add
+
+  std::size_t c_in_, c_out_, h_, w_;
+  Param weight_;  ///< (C_in*9) x C_out
+  Param bias_;    ///< 1 x C_out
+  MatrixF cols_;  ///< cached im2col(x)
+};
+
+/// 2x2 average pooling, stride 2 (channel-major flattened layout).
+class AvgPool2 : public Layer {
+ public:
+  AvgPool2(std::size_t channels, std::size_t height, std::size_t width);
+
+  MatrixF forward(const MatrixF& x) override;
+  MatrixF backward(const MatrixF& dy) override;
+
+ private:
+  std::size_t c_, h_, w_;
+};
+
+}  // namespace tilesparse

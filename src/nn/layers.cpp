@@ -1,0 +1,240 @@
+#include "nn/layers.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "gemm/dense_gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace tilesparse {
+
+std::vector<MatrixF> snapshot_params(const std::vector<Param*>& params) {
+  std::vector<MatrixF> out;
+  out.reserve(params.size());
+  for (const Param* p : params) out.push_back(p->value);
+  return out;
+}
+
+void restore_params(const std::vector<Param*>& params,
+                    const std::vector<MatrixF>& snapshot) {
+  assert(params.size() == snapshot.size());
+  for (std::size_t i = 0; i < params.size(); ++i)
+    params[i]->value = snapshot[i];
+}
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(std::string name, std::size_t in, std::size_t out, Rng& rng)
+    : weight_(name + ".w", in, out), bias_(name + ".b", 1, out) {
+  fill_kaiming(weight_.value, rng);
+}
+
+MatrixF Linear::forward(const MatrixF& x) {
+  x_ = x;
+  MatrixF y = matmul(x, weight_.value);
+  const float* b = bias_.value.data();
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    float* row = y.data() + r * y.cols();
+    for (std::size_t c = 0; c < y.cols(); ++c) row[c] += b[c];
+  }
+  return y;
+}
+
+MatrixF Linear::backward(const MatrixF& dy) {
+  // dW += x^T dy;  db += colsum(dy);  dx = dy W^T.
+  const MatrixF xt = transposed(x_);
+  MatrixF dw = matmul(xt, dy);
+  for (std::size_t i = 0; i < dw.size(); ++i)
+    weight_.grad.data()[i] += dw.data()[i];
+  for (std::size_t r = 0; r < dy.rows(); ++r) {
+    const float* row = dy.data() + r * dy.cols();
+    float* db = bias_.grad.data();
+    for (std::size_t c = 0; c < dy.cols(); ++c) db[c] += row[c];
+  }
+  const MatrixF wt = transposed(weight_.value);
+  return matmul(dy, wt);
+}
+
+// ---------------------------------------------------------------- ReLU
+
+MatrixF ReLU::forward(const MatrixF& x) {
+  y_ = x;
+  for (float& v : y_.flat()) v = v > 0.0f ? v : 0.0f;
+  return y_;
+}
+
+MatrixF ReLU::backward(const MatrixF& dy) {
+  MatrixF dx = dy;
+  for (std::size_t i = 0; i < dx.size(); ++i)
+    if (y_.data()[i] <= 0.0f) dx.data()[i] = 0.0f;
+  return dx;
+}
+
+// ---------------------------------------------------------------- Gelu
+
+namespace {
+constexpr float kSqrt2OverPi = 0.7978845608028654f;
+
+inline float gelu_forward_scalar(float x) {
+  return 0.5f * x * (1.0f + std::tanh(kSqrt2OverPi * (x + 0.044715f * x * x * x)));
+}
+
+inline float gelu_backward_scalar(float x) {
+  const float x3 = x * x * x;
+  const float inner = kSqrt2OverPi * (x + 0.044715f * x3);
+  const float t = std::tanh(inner);
+  const float sech2 = 1.0f - t * t;
+  return 0.5f * (1.0f + t) +
+         0.5f * x * sech2 * kSqrt2OverPi * (1.0f + 3.0f * 0.044715f * x * x);
+}
+}  // namespace
+
+MatrixF Gelu::forward(const MatrixF& x) {
+  x_ = x;
+  MatrixF y = x;
+  for (float& v : y.flat()) v = gelu_forward_scalar(v);
+  return y;
+}
+
+MatrixF Gelu::backward(const MatrixF& dy) {
+  MatrixF dx = dy;
+  for (std::size_t i = 0; i < dx.size(); ++i)
+    dx.data()[i] *= gelu_backward_scalar(x_.data()[i]);
+  return dx;
+}
+
+// ---------------------------------------------------------------- LayerNorm
+
+LayerNorm::LayerNorm(std::string name, std::size_t dim)
+    : gamma_(name + ".gamma", 1, dim), beta_(name + ".beta", 1, dim) {
+  gamma_.value.fill(1.0f);
+}
+
+MatrixF LayerNorm::forward(const MatrixF& x) {
+  const std::size_t n = x.cols();
+  normalized_ = MatrixF(x.rows(), n);
+  inv_std_.assign(x.rows(), 0.0f);
+  MatrixF y(x.rows(), n);
+  const float* gamma = gamma_.value.data();
+  const float* beta = beta_.value.data();
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const float* row = x.data() + r * n;
+    float mean = 0.0f;
+    for (std::size_t c = 0; c < n; ++c) mean += row[c];
+    mean /= static_cast<float>(n);
+    float var = 0.0f;
+    for (std::size_t c = 0; c < n; ++c) {
+      const float d = row[c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(n);
+    const float inv = 1.0f / std::sqrt(var + kEps);
+    inv_std_[r] = inv;
+    float* nrow = normalized_.data() + r * n;
+    float* yrow = y.data() + r * n;
+    for (std::size_t c = 0; c < n; ++c) {
+      nrow[c] = (row[c] - mean) * inv;
+      yrow[c] = nrow[c] * gamma[c] + beta[c];
+    }
+  }
+  return y;
+}
+
+MatrixF LayerNorm::backward(const MatrixF& dy) {
+  const std::size_t n = dy.cols();
+  MatrixF dx(dy.rows(), n);
+  const float* gamma = gamma_.value.data();
+  float* dgamma = gamma_.grad.data();
+  float* dbeta = beta_.grad.data();
+  for (std::size_t r = 0; r < dy.rows(); ++r) {
+    const float* dyrow = dy.data() + r * n;
+    const float* nrow = normalized_.data() + r * n;
+    float* dxrow = dx.data() + r * n;
+    float sum_dn = 0.0f, sum_dn_n = 0.0f;
+    for (std::size_t c = 0; c < n; ++c) {
+      const float dn = dyrow[c] * gamma[c];
+      sum_dn += dn;
+      sum_dn_n += dn * nrow[c];
+      dgamma[c] += dyrow[c] * nrow[c];
+      dbeta[c] += dyrow[c];
+    }
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      const float dn = dyrow[c] * gamma[c];
+      dxrow[c] = inv_std_[r] * (dn - inv_n * sum_dn - nrow[c] * inv_n * sum_dn_n);
+    }
+  }
+  return dx;
+}
+
+// ---------------------------------------------------------------- Embedding
+
+Embedding::Embedding(std::string name, std::size_t vocab, std::size_t dim,
+                     Rng& rng, bool trainable)
+    : table_(std::move(name), vocab, dim), trainable_(trainable) {
+  fill_normal(table_.value, rng, 0.0f, 1.0f / std::sqrt(static_cast<float>(dim)));
+}
+
+Embedding::Embedding(std::string name, const MatrixF& table, bool trainable)
+    : table_(std::move(name), table.rows(), table.cols()),
+      trainable_(trainable) {
+  table_.value = table;
+}
+
+MatrixF Embedding::forward(const std::vector<int>& tokens) {
+  tokens_ = tokens;
+  const std::size_t d = dim();
+  MatrixF y(tokens.size(), d);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const float* row =
+        table_.value.data() + static_cast<std::size_t>(tokens[i]) * d;
+    float* out = y.data() + i * d;
+    for (std::size_t c = 0; c < d; ++c) out[c] = row[c];
+  }
+  return y;
+}
+
+void Embedding::backward(const MatrixF& dy) {
+  if (!trainable_) return;
+  const std::size_t d = dim();
+  assert(dy.rows() == tokens_.size() && dy.cols() == d);
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    float* grad =
+        table_.grad.data() + static_cast<std::size_t>(tokens_[i]) * d;
+    const float* row = dy.data() + i * d;
+    for (std::size_t c = 0; c < d; ++c) grad[c] += row[c];
+  }
+}
+
+// ---------------------------------------------------------------- MeanPool
+
+MatrixF MeanPoolRows::forward(const MatrixF& x) {
+  assert(group_ > 0 && x.rows() % group_ == 0);
+  in_rows_ = x.rows();
+  const std::size_t out_rows = x.rows() / group_;
+  MatrixF y(out_rows, x.cols());
+  const float scale = 1.0f / static_cast<float>(group_);
+  for (std::size_t r = 0; r < out_rows; ++r) {
+    float* yrow = y.data() + r * y.cols();
+    for (std::size_t g = 0; g < group_; ++g) {
+      const float* xrow = x.data() + (r * group_ + g) * x.cols();
+      for (std::size_t c = 0; c < x.cols(); ++c) yrow[c] += xrow[c] * scale;
+    }
+  }
+  return y;
+}
+
+MatrixF MeanPoolRows::backward(const MatrixF& dy) {
+  MatrixF dx(in_rows_, dy.cols());
+  const float scale = 1.0f / static_cast<float>(group_);
+  for (std::size_t r = 0; r < dy.rows(); ++r) {
+    const float* dyrow = dy.data() + r * dy.cols();
+    for (std::size_t g = 0; g < group_; ++g) {
+      float* dxrow = dx.data() + (r * group_ + g) * dx.cols();
+      for (std::size_t c = 0; c < dy.cols(); ++c) dxrow[c] = dyrow[c] * scale;
+    }
+  }
+  return dx;
+}
+
+}  // namespace tilesparse

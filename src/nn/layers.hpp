@@ -1,0 +1,115 @@
+#pragma once
+// Basic NN layers with explicit forward/backward.
+//
+// Conventions:
+//  * activations are MatrixF with batch (or batch*seq) rows;
+//  * weight matrices are stored K x N (input-dim x output-dim), the same
+//    orientation the TW pruner and the GEMM substrate use;
+//  * forward() caches whatever backward() needs; backward(dy) returns dx
+//    and accumulates parameter gradients (call zero_grad between steps).
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/param.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace tilesparse {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  virtual MatrixF forward(const MatrixF& x) = 0;
+  virtual MatrixF backward(const MatrixF& dy) = 0;
+  virtual std::vector<Param*> params() { return {}; }
+};
+
+/// y = x W + b.
+class Linear : public Layer {
+ public:
+  Linear(std::string name, std::size_t in, std::size_t out, Rng& rng);
+
+  MatrixF forward(const MatrixF& x) override;
+  MatrixF backward(const MatrixF& dy) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+
+  Param& weight() noexcept { return weight_; }
+  Param& bias() noexcept { return bias_; }
+
+ private:
+  Param weight_;  ///< in x out
+  Param bias_;    ///< 1 x out
+  MatrixF x_;     ///< cached input
+};
+
+class ReLU : public Layer {
+ public:
+  MatrixF forward(const MatrixF& x) override;
+  MatrixF backward(const MatrixF& dy) override;
+
+ private:
+  MatrixF y_;
+};
+
+class Gelu : public Layer {
+ public:
+  MatrixF forward(const MatrixF& x) override;
+  MatrixF backward(const MatrixF& dy) override;
+
+ private:
+  MatrixF x_;
+};
+
+/// Row-wise LayerNorm with trainable gamma/beta.
+class LayerNorm : public Layer {
+ public:
+  LayerNorm(std::string name, std::size_t dim);
+
+  MatrixF forward(const MatrixF& x) override;
+  MatrixF backward(const MatrixF& dy) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+
+ private:
+  Param gamma_, beta_;
+  MatrixF normalized_;
+  std::vector<float> inv_std_;
+  static constexpr float kEps = 1e-5f;
+};
+
+/// Token embedding lookup.  Rows of the output are embeddings of the
+/// flattened token stream.  Optionally trainable.
+class Embedding {
+ public:
+  Embedding(std::string name, std::size_t vocab, std::size_t dim, Rng& rng,
+            bool trainable = true);
+  /// Initialise from an external table (e.g. the dataset's fixed table).
+  Embedding(std::string name, const MatrixF& table, bool trainable);
+
+  MatrixF forward(const std::vector<int>& tokens);
+  void backward(const MatrixF& dy);
+  std::vector<Param*> params() {
+    return trainable_ ? std::vector<Param*>{&table_} : std::vector<Param*>{};
+  }
+  std::size_t dim() const noexcept { return table_.value.cols(); }
+
+ private:
+  Param table_;
+  std::vector<int> tokens_;
+  bool trainable_;
+};
+
+/// Mean over groups of `group` consecutive rows (sequence mean-pooling:
+/// batch*seq rows -> batch rows).
+class MeanPoolRows : public Layer {
+ public:
+  explicit MeanPoolRows(std::size_t group) : group_(group) {}
+  MatrixF forward(const MatrixF& x) override;
+  MatrixF backward(const MatrixF& dy) override;
+
+ private:
+  std::size_t group_;
+  std::size_t in_rows_ = 0;
+};
+
+}  // namespace tilesparse

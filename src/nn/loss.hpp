@@ -1,0 +1,18 @@
+#pragma once
+// Losses and the optimizer-facing training-step contract.
+
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace tilesparse {
+
+/// Softmax cross-entropy over logits (batch x classes).  Returns the
+/// mean loss and writes dlogits (same shape) for backward.
+float softmax_cross_entropy(const MatrixF& logits, const std::vector<int>& labels,
+                            MatrixF& dlogits);
+
+/// Argmax accuracy of logits against labels.
+double accuracy(const MatrixF& logits, const std::vector<int>& labels);
+
+}  // namespace tilesparse

@@ -1,0 +1,57 @@
+#include "nn/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+
+namespace tilesparse {
+namespace {
+
+/// Packs an n-gram of small token ids into one key.
+std::uint64_t ngram_key(const int* tokens, std::size_t n) {
+  std::uint64_t key = n;  // disambiguate lengths
+  for (std::size_t i = 0; i < n; ++i)
+    key = key * 1000003ull + static_cast<std::uint64_t>(tokens[i] + 1);
+  return key;
+}
+
+}  // namespace
+
+double bleu4(const std::vector<int>& candidate,
+             const std::vector<int>& reference, std::size_t batch,
+             std::size_t seq) {
+  double log_precision_sum = 0.0;
+  int usable_orders = 0;
+  for (std::size_t n = 1; n <= 4 && n <= seq; ++n) {
+    std::size_t matched = 0, total = 0;
+    for (std::size_t b = 0; b < batch; ++b) {
+      const int* cand = candidate.data() + b * seq;
+      const int* ref = reference.data() + b * seq;
+      std::map<std::uint64_t, int> ref_counts;
+      for (std::size_t i = 0; i + n <= seq; ++i)
+        ++ref_counts[ngram_key(ref + i, n)];
+      for (std::size_t i = 0; i + n <= seq; ++i) {
+        ++total;
+        auto it = ref_counts.find(ngram_key(cand + i, n));
+        if (it != ref_counts.end() && it->second > 0) {
+          ++matched;
+          --it->second;  // clipping
+        }
+      }
+    }
+    if (total == 0) continue;
+    ++usable_orders;
+    // Laplace-style smoothing so a single missing order does not zero
+    // the whole score (standard BLEU+1 smoothing).
+    const double precision =
+        (static_cast<double>(matched) + (n > 1 ? 1.0 : 0.0)) /
+        (static_cast<double>(total) + (n > 1 ? 1.0 : 0.0));
+    log_precision_sum += std::log(std::max(precision, 1e-12));
+  }
+  if (usable_orders == 0) return 0.0;
+  // Candidate and reference have equal length, so brevity penalty = 1.
+  return 100.0 * std::exp(log_precision_sum / usable_orders);
+}
+
+}  // namespace tilesparse

@@ -1,0 +1,16 @@
+#pragma once
+// Evaluation metrics: classification accuracy lives in loss.hpp; this
+// header adds BLEU for the NMT proxy (the paper reports BLEU for NMT).
+
+#include <cstddef>
+#include <vector>
+
+namespace tilesparse {
+
+/// Corpus-level BLEU-4 with brevity penalty over equal-length candidate
+/// and reference token streams partitioned into `batch` sentences of
+/// `seq` tokens.  Returns a score in [0, 100].
+double bleu4(const std::vector<int>& candidate, const std::vector<int>& reference,
+             std::size_t batch, std::size_t seq);
+
+}  // namespace tilesparse

@@ -1,0 +1,86 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace tilesparse {
+namespace {
+
+void apply_param_mask(Param& param, MatrixF* state_a = nullptr,
+                      MatrixF* state_b = nullptr) {
+  if (!param.mask) return;
+  const unsigned char* m = param.mask->data();
+  float* w = param.value.data();
+  for (std::size_t i = 0; i < param.value.size(); ++i) {
+    if (!m[i]) {
+      w[i] = 0.0f;
+      if (state_a) state_a->data()[i] = 0.0f;
+      if (state_b) state_b->data()[i] = 0.0f;
+    }
+  }
+}
+
+}  // namespace
+
+SgdOptimizer::SgdOptimizer(std::vector<Param*> params, float lr, float momentum,
+                           float weight_decay)
+    : params_(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (const Param* p : params_)
+    velocity_.emplace_back(p->value.rows(), p->value.cols());
+}
+
+void SgdOptimizer::step() {
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Param& p = *params_[pi];
+    MatrixF& vel = velocity_[pi];
+    float* w = p.value.data();
+    float* g = p.grad.data();
+    float* v = vel.data();
+    for (std::size_t i = 0; i < p.value.size(); ++i) {
+      const float grad = g[i] + weight_decay_ * w[i];
+      v[i] = momentum_ * v[i] + grad;
+      w[i] -= lr_ * v[i];
+      g[i] = 0.0f;
+    }
+    apply_param_mask(p, &vel);
+  }
+}
+
+AdamOptimizer::AdamOptimizer(std::vector<Param*> params, float lr, float beta1,
+                             float beta2, float eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Param* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void AdamOptimizer::step() {
+  ++step_count_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Param& p = *params_[pi];
+    float* w = p.value.data();
+    float* g = p.grad.data();
+    float* m = m_[pi].data();
+    float* v = v_[pi].data();
+    for (std::size_t i = 0; i < p.value.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+      const float mh = m[i] / bias1;
+      const float vh = v[i] / bias2;
+      w[i] -= lr_ * mh / (std::sqrt(vh) + eps_);
+      g[i] = 0.0f;
+    }
+    apply_param_mask(p, &m_[pi], &v_[pi]);
+  }
+}
+
+}  // namespace tilesparse

@@ -1,0 +1,47 @@
+#pragma once
+// SGD-with-momentum and Adam.  Both honour pruning masks: when a Param
+// carries a mask, masked weights (and their momentum) are zeroed after
+// every step, implementing the prune-and-fine-tune loop of Algorithm 1.
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/param.hpp"
+
+namespace tilesparse {
+
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(std::vector<Param*> params, float lr = 0.05f,
+                        float momentum = 0.9f, float weight_decay = 0.0f);
+
+  void set_lr(float lr) noexcept { lr_ = lr; }
+  float lr() const noexcept { return lr_; }
+
+  /// Applies one update from the accumulated gradients, re-applies the
+  /// masks, and zeroes the gradients.
+  void step();
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<MatrixF> velocity_;
+  float lr_, momentum_, weight_decay_;
+};
+
+class AdamOptimizer {
+ public:
+  explicit AdamOptimizer(std::vector<Param*> params, float lr = 1e-3f,
+                         float beta1 = 0.9f, float beta2 = 0.999f,
+                         float eps = 1e-8f);
+
+  void set_lr(float lr) noexcept { lr_ = lr; }
+  void step();
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<MatrixF> m_, v_;
+  float lr_, beta1_, beta2_, eps_;
+  long step_count_ = 0;
+};
+
+}  // namespace tilesparse

@@ -1,0 +1,36 @@
+#pragma once
+// Trainable parameter with gradient and an optional pruning mask.
+//
+// The fine-tuning step of the multi-stage pruner (Algorithm 1, line 21)
+// trains with masks held fixed: the optimizer zeroes masked weights
+// after every update so pruned positions stay pruned.
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace tilesparse {
+
+struct Param {
+  std::string name;
+  MatrixF value;
+  MatrixF grad;
+  /// Non-owning; when set, value is element-wise multiplied by the mask
+  /// after every optimizer step.  Shape must match value.
+  const MatrixU8* mask = nullptr;
+
+  Param() = default;
+  Param(std::string param_name, std::size_t rows, std::size_t cols)
+      : name(std::move(param_name)), value(rows, cols), grad(rows, cols) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+/// Copies all parameter values (for model snapshot / restore around
+/// pruning experiments that compare patterns from one pretrained state).
+std::vector<MatrixF> snapshot_params(const std::vector<Param*>& params);
+void restore_params(const std::vector<Param*>& params,
+                    const std::vector<MatrixF>& snapshot);
+
+}  // namespace tilesparse

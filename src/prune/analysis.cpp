@@ -1,0 +1,84 @@
+#include "prune/analysis.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace tilesparse {
+
+std::vector<double> mask_sparsities(const std::vector<MatrixU8>& masks) {
+  std::vector<double> out;
+  out.reserve(masks.size());
+  for (const auto& mask : masks) {
+    std::size_t kept = 0;
+    for (auto v : mask.flat()) kept += v != 0;
+    out.push_back(mask.size() ? 1.0 - static_cast<double>(kept) /
+                                          static_cast<double>(mask.size())
+                              : 0.0);
+  }
+  return out;
+}
+
+std::vector<float> column_sparsities(const MatrixU8& mask) {
+  std::vector<float> out(mask.cols(), 0.0f);
+  for (std::size_t c = 0; c < mask.cols(); ++c) {
+    std::size_t kept = 0;
+    for (std::size_t r = 0; r < mask.rows(); ++r) kept += mask(r, c) != 0;
+    out[c] = 1.0f - static_cast<float>(kept) / static_cast<float>(mask.rows());
+  }
+  return out;
+}
+
+std::vector<float> unit_zero_fractions(const MatrixU8& mask,
+                                       std::size_t unit_rows,
+                                       std::size_t unit_cols) {
+  std::vector<float> out;
+  if (unit_rows == 0 || unit_cols == 0) return out;
+  const std::size_t unit_size = unit_rows * unit_cols;
+  for (std::size_t r0 = 0; r0 + unit_rows <= mask.rows(); r0 += unit_rows) {
+    for (std::size_t c0 = 0; c0 + unit_cols <= mask.cols(); c0 += unit_cols) {
+      std::size_t zeros = 0;
+      for (std::size_t r = 0; r < unit_rows; ++r)
+        for (std::size_t c = 0; c < unit_cols; ++c)
+          zeros += mask(r0 + r, c0 + c) == 0;
+      out.push_back(static_cast<float>(zeros) / static_cast<float>(unit_size));
+    }
+  }
+  return out;
+}
+
+MatrixF density_map(const MatrixU8& mask, std::size_t grid) {
+  MatrixF map(grid, grid);
+  if (mask.empty() || grid == 0) return map;
+  for (std::size_t gr = 0; gr < grid; ++gr) {
+    const std::size_t r0 = gr * mask.rows() / grid;
+    const std::size_t r1 = std::max(r0 + 1, (gr + 1) * mask.rows() / grid);
+    for (std::size_t gc = 0; gc < grid; ++gc) {
+      const std::size_t c0 = gc * mask.cols() / grid;
+      const std::size_t c1 = std::max(c0 + 1, (gc + 1) * mask.cols() / grid);
+      std::size_t kept = 0;
+      for (std::size_t r = r0; r < r1 && r < mask.rows(); ++r)
+        for (std::size_t c = c0; c < c1 && c < mask.cols(); ++c)
+          kept += mask(r, c) != 0;
+      const std::size_t total = (r1 - r0) * (c1 - c0);
+      map(gr, gc) = total ? static_cast<float>(kept) / static_cast<float>(total)
+                          : 0.0f;
+    }
+  }
+  return map;
+}
+
+std::string render_density_map(const MatrixF& map) {
+  static constexpr char kShades[] = " .:-=+*#%@";  // 10 levels
+  std::string out;
+  out.reserve((map.cols() + 1) * map.rows());
+  for (std::size_t r = 0; r < map.rows(); ++r) {
+    for (std::size_t c = 0; c < map.cols(); ++c) {
+      const float d = std::clamp(map(r, c), 0.0f, 1.0f);
+      out += kShades[static_cast<std::size_t>(d * 9.0f + 0.5f)];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tilesparse

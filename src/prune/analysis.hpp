@@ -1,0 +1,34 @@
+#pragma once
+// Sparsity-structure analysis used by the motivation/characterisation
+// figures (paper Figs. 5, 6, 13).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace tilesparse {
+
+/// Overall sparsity of each mask (fraction of zeros) — Fig. 5's y-axis.
+std::vector<double> mask_sparsities(const std::vector<MatrixU8>& masks);
+
+/// Per-column sparsity of one mask.
+std::vector<float> column_sparsities(const MatrixU8& mask);
+
+/// Fraction of zeros inside every (unit_rows x unit_cols) unit of the
+/// mask, row-major over units, partial edge units skipped.  Feeding these
+/// into an empirical CDF reproduces Fig. 6 (units: 8x8 and 32x32 blocks
+/// for BW, 1x64 row vectors for TW with G=64).
+std::vector<float> unit_zero_fractions(const MatrixU8& mask,
+                                       std::size_t unit_rows,
+                                       std::size_t unit_cols);
+
+/// Down-samples a mask into a (grid x grid) density map: each cell is the
+/// kept-fraction of its region.  Printable heatmap for Fig. 13.
+MatrixF density_map(const MatrixU8& mask, std::size_t grid);
+
+/// Renders a density map as ASCII art (darker = denser), for bench output.
+std::string render_density_map(const MatrixF& map);
+
+}  // namespace tilesparse

@@ -1,0 +1,27 @@
+#include "prune/importance.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace tilesparse {
+
+MatrixF magnitude_scores(const MatrixF& weights) {
+  MatrixF scores(weights.rows(), weights.cols());
+  const float* w = weights.data();
+  float* s = scores.data();
+  for (std::size_t i = 0; i < weights.size(); ++i) s[i] = std::fabs(w[i]);
+  return scores;
+}
+
+MatrixF taylor_scores(const MatrixF& weights, const MatrixF& gradients) {
+  assert(weights.rows() == gradients.rows() &&
+         weights.cols() == gradients.cols());
+  MatrixF scores(weights.rows(), weights.cols());
+  const float* w = weights.data();
+  const float* g = gradients.data();
+  float* s = scores.data();
+  for (std::size_t i = 0; i < weights.size(); ++i) s[i] = std::fabs(w[i] * g[i]);
+  return scores;
+}
+
+}  // namespace tilesparse

@@ -1,0 +1,20 @@
+#pragma once
+// Importance scores for pruning (paper Sec. V, Eq. 1-3).
+//
+// Two estimators:
+//  * magnitude:       score = |w|            (Han et al.)
+//  * first-order Taylor: score = |w * dL/dw| (Molchanov et al., the one
+//    the paper uses).  Requires the gradient from a training step.
+
+#include "tensor/matrix.hpp"
+
+namespace tilesparse {
+
+/// score(i,j) = |w(i,j)|.
+MatrixF magnitude_scores(const MatrixF& weights);
+
+/// score(i,j) = |w(i,j) * grad(i,j)| — the incurred-loss approximation of
+/// Eq. (3).  Shapes must match.
+MatrixF taylor_scores(const MatrixF& weights, const MatrixF& gradients);
+
+}  // namespace tilesparse

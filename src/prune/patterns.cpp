@@ -1,0 +1,164 @@
+#include "prune/patterns.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace tilesparse {
+
+namespace {
+
+/// Keeps the `keep_count` highest-scoring indices of `scores`; all masks
+/// start at 1 and pruned entries are zeroed.  Rank-based (exact count)
+/// rather than threshold-based so achieved sparsity is deterministic.
+std::vector<std::size_t> lowest_indices(const std::vector<float>& scores,
+                                        std::size_t prune_count) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  prune_count = std::min(prune_count, order.size());
+  std::nth_element(order.begin(), order.begin() + prune_count, order.end(),
+                   [&scores](std::size_t a, std::size_t b) {
+                     return scores[a] < scores[b];
+                   });
+  order.resize(prune_count);
+  return order;
+}
+
+}  // namespace
+
+MatrixU8 ew_mask(const MatrixF& scores, double sparsity) {
+  const MatrixF* p = &scores;
+  return std::move(ew_mask_global({p}, sparsity)[0]);
+}
+
+std::vector<MatrixU8> ew_mask_global(const std::vector<const MatrixF*>& scores,
+                                     double sparsity) {
+  sparsity = std::clamp(sparsity, 0.0, 1.0);
+  std::size_t total = 0;
+  for (const auto* m : scores) total += m->size();
+
+  std::vector<float> all;
+  all.reserve(total);
+  for (const auto* m : scores)
+    all.insert(all.end(), m->flat().begin(), m->flat().end());
+
+  const auto prune_count =
+      static_cast<std::size_t>(sparsity * static_cast<double>(total) + 0.5);
+  // Find the global threshold as the prune_count-th smallest score.
+  std::vector<float> sorted = all;
+  float threshold = -1.0f;
+  if (prune_count > 0) {
+    std::nth_element(sorted.begin(), sorted.begin() + (prune_count - 1),
+                     sorted.end());
+    threshold = sorted[prune_count - 1];
+  }
+
+  // Mask with strict-below threshold, then fix up ties to hit the exact
+  // count (ties are pruned in matrix order).
+  std::vector<MatrixU8> masks;
+  masks.reserve(scores.size());
+  std::size_t pruned = 0;
+  for (const auto* m : scores) {
+    MatrixU8 mask(m->rows(), m->cols());
+    mask.fill(1);
+    const float* s = m->data();
+    for (std::size_t i = 0; i < m->size(); ++i) {
+      if (s[i] < threshold) {
+        mask.data()[i] = 0;
+        ++pruned;
+      }
+    }
+    masks.push_back(std::move(mask));
+  }
+  for (std::size_t mi = 0; mi < scores.size() && pruned < prune_count; ++mi) {
+    const float* s = scores[mi]->data();
+    unsigned char* k = masks[mi].data();
+    for (std::size_t i = 0; i < scores[mi]->size() && pruned < prune_count; ++i) {
+      if (k[i] && s[i] == threshold) {
+        k[i] = 0;
+        ++pruned;
+      }
+    }
+  }
+  return masks;
+}
+
+MatrixU8 vw_mask(const MatrixF& scores, double sparsity, std::size_t v) {
+  if (v == 0) throw std::invalid_argument("vw_mask: v must be > 0");
+  sparsity = std::clamp(sparsity, 0.0, 1.0);
+  const std::size_t rows = scores.rows(), cols = scores.cols();
+  MatrixU8 mask(rows, cols);
+  mask.fill(1);
+
+  std::vector<std::size_t> order;
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r0 = 0; r0 < rows; r0 += v) {
+      const std::size_t len = std::min(v, rows - r0);
+      const auto prune_count = static_cast<std::size_t>(
+          sparsity * static_cast<double>(len) + 0.5);
+      order.resize(len);
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::nth_element(order.begin(), order.begin() + prune_count, order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return scores(r0 + a, c) < scores(r0 + b, c);
+                       });
+      for (std::size_t i = 0; i < prune_count; ++i) mask(r0 + order[i], c) = 0;
+    }
+  }
+  return mask;
+}
+
+MatrixU8 bw_mask(const MatrixF& scores, double sparsity, std::size_t block) {
+  const MatrixF* p = &scores;
+  return std::move(bw_mask_global({p}, sparsity, block)[0]);
+}
+
+std::vector<MatrixU8> bw_mask_global(const std::vector<const MatrixF*>& scores,
+                                     double sparsity, std::size_t block) {
+  if (block == 0) throw std::invalid_argument("bw_mask: block must be > 0");
+  sparsity = std::clamp(sparsity, 0.0, 1.0);
+
+  struct BlockRef {
+    std::size_t matrix, br, bc;
+  };
+  std::vector<BlockRef> refs;
+  std::vector<float> block_scores;
+  for (std::size_t mi = 0; mi < scores.size(); ++mi) {
+    const MatrixF& s = *scores[mi];
+    if (s.rows() % block != 0 || s.cols() % block != 0)
+      throw std::invalid_argument("bw_mask: shape not divisible by block");
+    for (std::size_t br = 0; br < s.rows() / block; ++br) {
+      for (std::size_t bc = 0; bc < s.cols() / block; ++bc) {
+        float sum = 0.0f;
+        for (std::size_t r = 0; r < block; ++r)
+          for (std::size_t c = 0; c < block; ++c)
+            sum += s(br * block + r, bc * block + c);
+        refs.push_back({mi, br, bc});
+        block_scores.push_back(sum);
+      }
+    }
+  }
+
+  const auto prune_count = static_cast<std::size_t>(
+      sparsity * static_cast<double>(refs.size()) + 0.5);
+  const auto pruned = lowest_indices(block_scores, prune_count);
+
+  std::vector<MatrixU8> masks;
+  masks.reserve(scores.size());
+  for (const auto* m : scores) {
+    MatrixU8 mask(m->rows(), m->cols());
+    mask.fill(1);
+    masks.push_back(std::move(mask));
+  }
+  for (std::size_t idx : pruned) {
+    const auto& ref = refs[idx];
+    MatrixU8& mask = masks[ref.matrix];
+    for (std::size_t r = 0; r < block; ++r)
+      for (std::size_t c = 0; c < block; ++c)
+        mask(ref.br * block + r, ref.bc * block + c) = 0;
+  }
+  return masks;
+}
+
+}  // namespace tilesparse

@@ -1,0 +1,40 @@
+#pragma once
+// Baseline sparsity patterns (paper Sec. III-A, Fig. 2):
+//  * EW — element-wise / unstructured: global score ranking;
+//  * VW — vector-wise: fixed prune count inside every v-element column
+//    vector (Zhu et al., vector size 16 in the paper's evaluation);
+//  * BW — block-wise: b x b blocks pruned whole (Narang et al.,
+//    32 x 32 in the paper's evaluation).
+//
+// All functions produce {0,1} element masks; 1 = keep.
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace tilesparse {
+
+/// EW over a single matrix: keeps the top (1 - sparsity) fraction by score.
+MatrixU8 ew_mask(const MatrixF& scores, double sparsity);
+
+/// EW with one global ranking across several matrices — this is what
+/// exposes the uneven per-layer sparsity distribution of paper Fig. 5.
+std::vector<MatrixU8> ew_mask_global(const std::vector<const MatrixF*>& scores,
+                                     double sparsity);
+
+/// VW: within every vector of `v` consecutive elements of a column,
+/// prunes round(v * sparsity) elements with the lowest scores.  Every
+/// vector ends up with the same sparsity — the rigidity the paper
+/// criticises.  Rows not divisible by v form a shorter final vector.
+MatrixU8 vw_mask(const MatrixF& scores, double sparsity, std::size_t v = 16);
+
+/// BW over a single matrix: ranks b x b blocks by summed score, prunes
+/// the lowest `sparsity` fraction.  Shape must divide by b.
+MatrixU8 bw_mask(const MatrixF& scores, double sparsity, std::size_t block = 32);
+
+/// BW with a global block ranking across matrices.
+std::vector<MatrixU8> bw_mask_global(const std::vector<const MatrixF*>& scores,
+                                     double sparsity, std::size_t block = 32);
+
+}  // namespace tilesparse

@@ -1,0 +1,297 @@
+#include "prune/tw_pruner.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "prune/importance.hpp"
+#include "prune/patterns.hpp"
+
+namespace tilesparse {
+namespace {
+
+/// Column adjustment from apriori tuning: prune-first / normal / protected.
+enum class ColClass : std::uint8_t { kNormal, kForcePrune, kProtect };
+
+/// Polynomial (cubic) sparsity schedule: slow start, fast middle, gentle
+/// landing — the standard gradual-pruning ramp.
+double stage_target(double final_sparsity, int stage, int stages) {
+  const double t = static_cast<double>(stage) / static_cast<double>(stages);
+  return final_sparsity * (1.0 - std::pow(1.0 - t, 3.0));
+}
+
+/// One full column+row pruning pass over all matrices at fixed column /
+/// row prune fractions.  Scores are the *current* importance matrices.
+std::vector<TilePattern> build_patterns(
+    const std::vector<MatrixF*>& weights, const std::vector<MatrixF>& scores,
+    double col_fraction, double row_fraction, std::size_t g, bool global_rank,
+    const std::vector<std::vector<ColClass>>& col_classes) {
+  const std::size_t num = weights.size();
+  constexpr float kInf = std::numeric_limits<float>::max();
+
+  // ---- Column pruning (tiles of shape K x 1, Algorithm 1 lines 4-12).
+  // Scores are height-normalised (mean per element) so matrices with
+  // different K compare fairly in the global ranking, and pruning runs
+  // on an *element* budget because a pruned column of a tall matrix
+  // removes more weights than one of a short matrix.
+  std::vector<std::vector<float>> col_scores(num);
+  for (std::size_t mi = 0; mi < num; ++mi) {
+    const MatrixF& s = scores[mi];
+    auto& cs = col_scores[mi];
+    cs.assign(s.cols(), 0.0f);
+    for (std::size_t r = 0; r < s.rows(); ++r) {
+      const float* row = s.data() + r * s.cols();
+      for (std::size_t c = 0; c < s.cols(); ++c) cs[c] += row[c];
+    }
+    const float inv_k = 1.0f / static_cast<float>(s.rows() ? s.rows() : 1);
+    for (float& v : cs) v *= inv_k;
+    if (!col_classes.empty()) {
+      for (std::size_t c = 0; c < cs.size(); ++c) {
+        if (col_classes[mi][c] == ColClass::kForcePrune) cs[c] = -1.0f;
+        if (col_classes[mi][c] == ColClass::kProtect) cs[c] = kInf;
+      }
+    }
+  }
+
+  std::vector<std::vector<std::uint8_t>> col_keep(num);
+  auto prune_column_group = [&](const std::vector<std::size_t>& members) {
+    struct ColTile {
+      float score;
+      std::uint32_t matrix;
+      std::uint32_t index;
+      std::uint32_t elements;
+    };
+    std::vector<ColTile> tiles;
+    double total_elements = 0.0;
+    for (std::size_t mi : members) {
+      const auto height = static_cast<std::uint32_t>(weights[mi]->rows());
+      for (std::size_t c = 0; c < col_scores[mi].size(); ++c) {
+        tiles.push_back({col_scores[mi][c], static_cast<std::uint32_t>(mi),
+                         static_cast<std::uint32_t>(c), height});
+        total_elements += static_cast<double>(height);
+      }
+    }
+    std::sort(tiles.begin(), tiles.end(),
+              [](const ColTile& a, const ColTile& b) { return a.score < b.score; });
+    double budget = col_fraction * total_elements;
+    for (std::size_t mi : members) {
+      if (col_keep[mi].empty()) col_keep[mi].assign(col_scores[mi].size(), 1);
+    }
+    for (const auto& tile : tiles) {
+      if (budget < static_cast<double>(tile.elements) * 0.5) break;
+      budget -= static_cast<double>(tile.elements);
+      col_keep[tile.matrix][tile.index] = 0;
+    }
+  };
+  if (global_rank) {
+    std::vector<std::size_t> all(num);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    prune_column_group(all);
+  } else {
+    for (std::size_t mi = 0; mi < num; ++mi) prune_column_group({mi});
+  }
+  // Guard: a matrix must keep at least one column.
+  for (std::size_t mi = 0; mi < num; ++mi) {
+    auto& keep = col_keep[mi];
+    if (keep.empty()) keep.assign(col_scores[mi].size(), 1);
+    if (std::find(keep.begin(), keep.end(), std::uint8_t{1}) == keep.end()) {
+      const auto best = static_cast<std::size_t>(
+          std::max_element(col_scores[mi].begin(), col_scores[mi].end()) -
+          col_scores[mi].begin());
+      keep[best] = 1;
+    }
+  }
+
+  // ---- Re-organization (line 13).
+  std::vector<TilePattern> patterns;
+  patterns.reserve(num);
+  for (std::size_t mi = 0; mi < num; ++mi) {
+    patterns.push_back(reorganize_columns(weights[mi]->rows(),
+                                          weights[mi]->cols(), g, col_keep[mi]));
+  }
+
+  // ---- Row pruning (tiles of shape 1 x G, lines 14-20).
+  struct RowRef {
+    std::uint32_t tile;
+    std::uint32_t row;
+  };
+  std::vector<std::vector<RowRef>> row_refs(num);
+  std::vector<std::vector<float>> row_scores(num);   // width-normalised mean
+  std::vector<std::vector<std::size_t>> row_sizes(num);  // elements per tile
+  for (std::size_t mi = 0; mi < num; ++mi) {
+    const MatrixF& s = scores[mi];
+    for (std::size_t ti = 0; ti < patterns[mi].tiles.size(); ++ti) {
+      const auto& tile = patterns[mi].tiles[ti];
+      for (std::size_t r = 0; r < patterns[mi].k; ++r) {
+        float sum = 0.0f;
+        for (auto c : tile.out_cols) sum += s(r, static_cast<std::size_t>(c));
+        row_refs[mi].push_back(
+            {static_cast<std::uint32_t>(ti), static_cast<std::uint32_t>(r)});
+        // Mean (not sum) so the narrower final tile competes fairly with
+        // full-width tiles in the global ranking.
+        row_scores[mi].push_back(sum / static_cast<float>(tile.width()));
+        row_sizes[mi].push_back(tile.width());
+      }
+    }
+  }
+
+  auto prune_row_group = [&](const std::vector<std::size_t>& members) {
+    struct RowTile {
+      float score;
+      std::uint32_t matrix;
+      std::uint32_t index;
+      std::uint32_t elements;
+    };
+    std::vector<RowTile> tiles;
+    double total_elements = 0.0;
+    for (std::size_t mi : members) {
+      for (std::size_t i = 0; i < row_scores[mi].size(); ++i) {
+        tiles.push_back({row_scores[mi][i], static_cast<std::uint32_t>(mi),
+                         static_cast<std::uint32_t>(i),
+                         static_cast<std::uint32_t>(row_sizes[mi][i])});
+        total_elements += static_cast<double>(row_sizes[mi][i]);
+      }
+    }
+    // Prune lowest-scoring row tiles until the removed *elements* meet
+    // the budget (tiles have unequal widths, so a count quota would
+    // land off-target).
+    std::sort(tiles.begin(), tiles.end(),
+              [](const RowTile& a, const RowTile& b) { return a.score < b.score; });
+    double budget = row_fraction * total_elements;
+    for (const auto& tile : tiles) {
+      if (budget < static_cast<double>(tile.elements) * 0.5) break;
+      budget -= static_cast<double>(tile.elements);
+      const auto& ref = row_refs[tile.matrix][tile.index];
+      patterns[tile.matrix].tiles[ref.tile].row_keep[ref.row] = 0;
+    }
+  };
+  if (global_rank) {
+    std::vector<std::size_t> all(num);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    prune_row_group(all);
+  } else {
+    for (std::size_t mi = 0; mi < num; ++mi) prune_row_group({mi});
+  }
+  return patterns;
+}
+
+/// Algorithm 2: classify columns by their sparsity in the EW solution at
+/// the final target.  The most-EW-sparse columns are forced to prune
+/// first; the least-sparse are protected.
+std::vector<std::vector<ColClass>> apriori_classes(
+    const std::vector<MatrixF>& scores, double target_sparsity,
+    double top_frac, double last_frac) {
+  std::vector<const MatrixF*> ptrs;
+  ptrs.reserve(scores.size());
+  for (const auto& s : scores) ptrs.push_back(&s);
+  const auto ew = ew_mask_global(ptrs, target_sparsity);
+
+  struct ColRef {
+    double sparsity;
+    std::size_t matrix, col;
+  };
+  std::vector<ColRef> refs;
+  for (std::size_t mi = 0; mi < ew.size(); ++mi) {
+    const MatrixU8& mask = ew[mi];
+    for (std::size_t c = 0; c < mask.cols(); ++c) {
+      std::size_t kept = 0;
+      for (std::size_t r = 0; r < mask.rows(); ++r) kept += mask(r, c) != 0;
+      refs.push_back({1.0 - static_cast<double>(kept) /
+                                static_cast<double>(mask.rows()),
+                      mi, c});
+    }
+  }
+  std::sort(refs.begin(), refs.end(), [](const ColRef& a, const ColRef& b) {
+    return a.sparsity > b.sparsity;
+  });
+
+  std::vector<std::vector<ColClass>> classes(scores.size());
+  for (std::size_t mi = 0; mi < scores.size(); ++mi)
+    classes[mi].assign(scores[mi].cols(), ColClass::kNormal);
+  const auto top_n =
+      static_cast<std::size_t>(top_frac * static_cast<double>(refs.size()));
+  const auto last_n =
+      static_cast<std::size_t>(last_frac * static_cast<double>(refs.size()));
+  for (std::size_t i = 0; i < top_n && i < refs.size(); ++i)
+    classes[refs[i].matrix][refs[i].col] = ColClass::kForcePrune;
+  for (std::size_t i = 0; i < last_n && i < refs.size(); ++i) {
+    const auto& ref = refs[refs.size() - 1 - i];
+    classes[ref.matrix][ref.col] = ColClass::kProtect;
+  }
+  return classes;
+}
+
+MatrixF default_scores(const MatrixF& weights) {
+  return magnitude_scores(weights);
+}
+
+}  // namespace
+
+std::vector<TilePattern> tw_prune(std::vector<MatrixF*> weights,
+                                  const TwPruneOptions& options,
+                                  const ScoreFn& score_fn,
+                                  const FineTuneFn& fine_tune) {
+  assert(!weights.empty());
+  const int stages = std::max(1, options.stages);
+  std::vector<TilePattern> patterns;
+
+  for (int stage = 1; stage <= stages; ++stage) {
+    const double st = stage_target(options.target_sparsity, stage, stages);
+    // Split the combined stage target between the column and row pass so
+    // that (1 - qc) * (1 - qr) = 1 - st.
+    const double keep = 1.0 - st;
+    const double qc = 1.0 - std::pow(keep, options.column_split);
+    const double qr = 1.0 - std::pow(keep, 1.0 - options.column_split);
+
+    std::vector<MatrixF> scores;
+    scores.reserve(weights.size());
+    for (std::size_t mi = 0; mi < weights.size(); ++mi) {
+      scores.push_back(score_fn ? score_fn(*weights[mi], mi)
+                                : default_scores(*weights[mi]));
+    }
+
+    std::vector<std::vector<ColClass>> classes;
+    if (options.apriori) {
+      classes = apriori_classes(scores, options.target_sparsity,
+                                options.apriori_top_frac,
+                                options.apriori_last_frac);
+    }
+
+    patterns = build_patterns(weights, scores, qc, qr, options.g,
+                              options.global_rank, classes);
+
+    std::vector<MatrixU8> masks;
+    masks.reserve(weights.size());
+    for (std::size_t mi = 0; mi < weights.size(); ++mi) {
+      apply_pattern(patterns[mi], *weights[mi]);
+      masks.push_back(pattern_to_mask(patterns[mi]));
+    }
+    if (fine_tune) fine_tune(masks);
+  }
+  return patterns;
+}
+
+TilePattern tw_prune_single(MatrixF& weights, const TwPruneOptions& options,
+                            const ScoreFn& score_fn,
+                            const FineTuneFn& fine_tune) {
+  auto patterns = tw_prune({&weights}, options, score_fn, fine_tune);
+  return std::move(patterns[0]);
+}
+
+TilePattern tw_pattern_from_scores(const MatrixF& scores, double sparsity,
+                                   std::size_t g, double column_split) {
+  const double keep = 1.0 - std::clamp(sparsity, 0.0, 1.0);
+  const double qc = 1.0 - std::pow(keep, column_split);
+  const double qr = 1.0 - std::pow(keep, 1.0 - column_split);
+  MatrixF weights_shape(scores.rows(), scores.cols());
+  std::vector<MatrixF*> fake{&weights_shape};
+  std::vector<MatrixF> score_vec;
+  score_vec.push_back(scores);  // copy; build_patterns reads only
+  auto patterns = build_patterns(fake, score_vec, qc, qr, g,
+                                 /*global_rank=*/true, {});
+  return std::move(patterns[0]);
+}
+
+}  // namespace tilesparse

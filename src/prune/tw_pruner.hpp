@@ -1,0 +1,78 @@
+#pragma once
+// The multi-stage TW pruning algorithm — paper Algorithm 1, plus the
+// apriori tuning of Algorithm 2.
+//
+// Per stage (a pruning-tuning iteration):
+//  1. the stage target s_t is gradually increased toward S;
+//  2. column pruning: every column is a (K x 1) tile; scores are summed
+//     per column, ranked *globally across all weight matrices* (line 7 —
+//     this is what captures the uneven cross-layer sparsity of Fig. 5),
+//     optionally adjusted by the EW-prior apriori tuning, and the lowest
+//     columns are pruned;
+//  3. the surviving columns are re-organized into G-wide tiles;
+//  4. row pruning: every (1 x G) row segment of a tile is a tile; summed
+//     scores are ranked globally and the lowest segments pruned;
+//  5. pruned weights are zeroed and the fine-tune callback runs.
+//
+// Deviation from the paper's pseudocode, documented here: Algorithm 1
+// applies Percentile(tileScore, s_t) to both the column and the row
+// pass, which would overshoot the combined sparsity (1-(1-s)^2 > s).
+// We split the stage target so the *combined* sparsity equals s_t:
+// with split x, columns get 1-(1-s_t)^x and rows 1-(1-s_t)^(1-x).
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/tile_pattern.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tilesparse {
+
+struct TwPruneOptions {
+  double target_sparsity = 0.75;  ///< final S
+  std::size_t g = 128;            ///< tile granularity G
+  int stages = 5;                 ///< pruning-tuning iterations to reach S
+  /// Fraction of each stage's (log-space) sparsity assigned to column
+  /// pruning; 0.5 splits evenly, 0 disables column pruning, 1 disables
+  /// row pruning.
+  double column_split = 0.5;
+  /// One global tile ranking across matrices (Algorithm 1) versus an
+  /// independent per-matrix budget (the ablation in bench/ablation_opts).
+  bool global_rank = true;
+  /// Enable Algorithm 2: EW results at target sparsity pre-force the
+  /// top-n most-EW-sparse columns to prune and protect the last-n.
+  bool apriori = false;
+  double apriori_top_frac = 0.10;
+  double apriori_last_frac = 0.05;
+};
+
+/// Recomputes importance scores for the current weights of matrix `i`.
+/// Defaults to magnitude when not provided.  A trainer can supply Taylor
+/// scores (|w * grad|) from a calibration batch.
+using ScoreFn = std::function<MatrixF(const MatrixF& weights, std::size_t index)>;
+
+/// Runs after each stage's masks are applied; typical implementation
+/// fine-tunes the model for a few epochs with the masks held fixed and
+/// updates the weight matrices in place.
+using FineTuneFn = std::function<void(const std::vector<MatrixU8>& masks)>;
+
+/// Prunes `weights` (modified in place: pruned entries zeroed) to the
+/// target TW sparsity.  Returns one TilePattern per matrix.
+std::vector<TilePattern> tw_prune(std::vector<MatrixF*> weights,
+                                  const TwPruneOptions& options,
+                                  const ScoreFn& score_fn = {},
+                                  const FineTuneFn& fine_tune = {});
+
+/// Single-matrix convenience wrapper.
+TilePattern tw_prune_single(MatrixF& weights, const TwPruneOptions& options,
+                            const ScoreFn& score_fn = {},
+                            const FineTuneFn& fine_tune = {});
+
+/// Builds a TW pattern directly from a fixed score matrix without
+/// multi-stage refinement or fine-tuning (used by latency-only
+/// experiments where weights are synthetic).
+TilePattern tw_pattern_from_scores(const MatrixF& scores, double sparsity,
+                                   std::size_t g, double column_split = 0.5);
+
+}  // namespace tilesparse

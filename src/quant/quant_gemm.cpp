@@ -1,0 +1,98 @@
+#include "quant/quant_gemm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tilesparse {
+
+std::vector<QuantMaskedTile> quantize_tiles(
+    const std::vector<MaskedTile>& tiles) {
+  std::vector<QuantMaskedTile> out;
+  out.reserve(tiles.size());
+  for (const auto& tile : tiles) {
+    QuantMaskedTile q;
+    const QuantMatrix qw = quantize(tile.weights);
+    q.weights = qw.values;
+    q.scale = qw.scale;
+    q.kept_rows = tile.kept_rows;
+    q.out_cols = tile.out_cols;
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+MatrixF quant_matmul(const QuantMatrix& a, const QuantMatrix& b) {
+  assert(a.values.cols() == b.values.rows());
+  const std::size_t m = a.values.rows();
+  const std::size_t k = a.values.cols();
+  const std::size_t n = b.values.cols();
+  MatrixF c(m, n);
+  const float out_scale = a.scale * b.scale;
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<std::int32_t> acc(n, 0);
+    const std::int8_t* arow = a.values.data() + i * k;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const std::int32_t av = arow[kk];
+      if (av == 0) continue;
+      const std::int8_t* brow = b.values.data() + kk * n;
+      for (std::size_t j = 0; j < n; ++j)
+        acc[j] += av * static_cast<std::int32_t>(brow[j]);
+    }
+    float* crow = c.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j)
+      crow[j] = static_cast<float>(acc[j]) * out_scale;
+  }
+  return c;
+}
+
+MatrixF quant_tw_matmul(const MatrixF& a,
+                        const std::vector<QuantMaskedTile>& tiles,
+                        std::size_t n) {
+  const QuantMatrix aq = quantize(a);
+  const std::size_t m = a.rows();
+  MatrixF c(m, n);
+
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    const auto& tile = tiles[t];
+    const std::size_t kt = tile.kept_rows.size();
+    const std::size_t wt = tile.out_cols.size();
+    if (kt == 0 || wt == 0) continue;
+    const float out_scale = aq.scale * tile.scale;
+
+    constexpr std::size_t kRowBlock = 32;
+    std::vector<std::int8_t> panel(kRowBlock * kt);
+    std::vector<std::int32_t> acc(kRowBlock * wt);
+    for (std::size_t i0 = 0; i0 < m; i0 += kRowBlock) {
+      const std::size_t rows = std::min(kRowBlock, m - i0);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const std::int8_t* arow = aq.values.data() + (i0 + r) * a.cols();
+        std::int8_t* prow = panel.data() + r * kt;
+        for (std::size_t j = 0; j < kt; ++j) prow[j] = arow[tile.kept_rows[j]];
+      }
+      std::fill(acc.begin(), acc.begin() + rows * wt, 0);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const std::int8_t* prow = panel.data() + r * kt;
+        std::int32_t* arow = acc.data() + r * wt;
+        for (std::size_t j = 0; j < kt; ++j) {
+          const std::int32_t av = prow[j];
+          if (av == 0) continue;
+          const std::int8_t* wrow = tile.weights.data() + j * wt;
+          for (std::size_t x = 0; x < wt; ++x)
+            arow[x] += av * static_cast<std::int32_t>(wrow[x]);
+        }
+      }
+      for (std::size_t r = 0; r < rows; ++r) {
+        float* crow = c.data() + (i0 + r) * n;
+        const std::int32_t* arow = acc.data() + r * wt;
+        for (std::size_t x = 0; x < wt; ++x)
+          crow[tile.out_cols[x]] += static_cast<float>(arow[x]) * out_scale;
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace tilesparse

@@ -1,0 +1,36 @@
+#pragma once
+// INT8 execution of TW-pruned weights: per-tile weight scales + a
+// per-tensor activation scale, int32 accumulation, float output.
+
+#include <cstdint>
+#include <vector>
+
+#include "gemm/masked_gemm.hpp"
+#include "quant/quantize.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tilesparse {
+
+/// A compacted TW tile with int8 weights and its own scale.
+struct QuantMaskedTile {
+  MatrixI8 weights;  ///< K_t x W_t
+  float scale = 1.0f;
+  std::vector<std::int32_t> kept_rows;
+  std::vector<std::int32_t> out_cols;
+};
+
+/// Quantises each compacted tile independently (per-tile scales — the
+/// regular tile structure is what makes this granularity natural).
+std::vector<QuantMaskedTile> quantize_tiles(const std::vector<MaskedTile>& tiles);
+
+/// Dense int8 GEMM reference: C = (Aq * Bq) * (a.scale * b.scale).
+MatrixF quant_matmul(const QuantMatrix& a, const QuantMatrix& b);
+
+/// C = A * W for TW-pruned int8 weights.  A is quantised internally
+/// (dynamic per-tensor scale); accumulation is int32 per tile, scaled to
+/// float on store.  Parallel across tiles (disjoint output columns).
+MatrixF quant_tw_matmul(const MatrixF& a,
+                        const std::vector<QuantMaskedTile>& tiles,
+                        std::size_t n);
+
+}  // namespace tilesparse

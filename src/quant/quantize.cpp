@@ -1,0 +1,34 @@
+#include "quant/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tilesparse {
+
+QuantMatrix quantize(const MatrixF& m) {
+  QuantMatrix q;
+  q.values = MatrixI8(m.rows(), m.cols());
+  float abs_max = 0.0f;
+  for (float v : m.flat()) abs_max = std::max(abs_max, std::fabs(v));
+  q.scale = abs_max > 0.0f ? abs_max / 127.0f : 1.0f;
+  const float inv = 1.0f / q.scale;
+  const float* src = m.data();
+  std::int8_t* dst = q.values.data();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const float scaled = src[i] * inv;
+    dst[i] = static_cast<std::int8_t>(
+        std::clamp(std::lround(scaled), -127l, 127l));
+  }
+  return q;
+}
+
+MatrixF dequantize(const QuantMatrix& q) {
+  MatrixF m(q.values.rows(), q.values.cols());
+  const std::int8_t* src = q.values.data();
+  float* dst = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i)
+    dst[i] = static_cast<float>(src[i]) * q.scale;
+  return m;
+}
+
+}  // namespace tilesparse

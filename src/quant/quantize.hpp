@@ -1,0 +1,37 @@
+#pragma once
+// Symmetric INT8 quantization.  The paper leaves "how to integrate tile
+// sparsity with quantization" as future work (Sec. VIII, citing Yang et
+// al.'s sparsity-quantization joint compression); this module provides
+// that integration: TW-compacted tiles quantize per-tile (each tile has
+// its own scale, which the tile-level regularity makes free), and the
+// masked GEMM runs in int8 with int32 accumulation.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace tilesparse {
+
+using MatrixI8 = Matrix<std::int8_t>;
+
+/// A quantised matrix: q = clamp(round(x / scale), -127, 127).
+struct QuantMatrix {
+  MatrixI8 values;
+  float scale = 1.0f;
+};
+
+/// Symmetric per-tensor quantisation with the scale chosen from the
+/// absolute maximum.  An all-zero input gets scale 1.
+QuantMatrix quantize(const MatrixF& m);
+
+/// Reconstructs floats (q * scale).
+MatrixF dequantize(const QuantMatrix& q);
+
+/// Worst-case absolute reconstruction error of this quantisation:
+/// half a quantisation step.
+inline float quantization_step(const QuantMatrix& q) noexcept {
+  return q.scale;
+}
+
+}  // namespace tilesparse

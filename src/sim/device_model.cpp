@@ -1,0 +1,38 @@
+#include "sim/device_model.hpp"
+
+namespace tilesparse {
+
+double DeviceModel::bsr_efficiency(std::size_t block) const noexcept {
+  // Calibrated to the paper's BW anchors: with 32x32 blocks BlockSparse
+  // is ~3x slower than dense-TC at ~55% sparsity, and with 64x64 it only
+  // beats dense beyond ~90% sparsity.  Efficiency grows with block edge
+  // (bigger dense fragments feed the tensor cores better) and collapses
+  // for tiny blocks.
+  if (block >= 64) return 0.080;
+  if (block >= 32) return 0.065;
+  if (block >= 16) return 0.030;
+  return 0.015;
+}
+
+DeviceModel DeviceModel::v100() { return DeviceModel{}; }
+
+double LatencyResult::energy_joules(const DeviceModel& dev,
+                                    Core core) const noexcept {
+  const double pj_flop = core == Core::kTensor ? dev.pj_per_flop_tensor
+                                               : dev.pj_per_flop_cuda;
+  const double dynamic = useful_flops * pj_flop * 1e-12 +
+                         (load_bytes + store_bytes) * dev.pj_per_dram_byte * 1e-12;
+  return dynamic + dev.static_watts * seconds();
+}
+
+LatencyResult& LatencyResult::operator+=(const LatencyResult& other) noexcept {
+  compute_s += other.compute_s;
+  memory_s += other.memory_s;
+  launch_s += other.launch_s;
+  load_bytes += other.load_bytes;
+  store_bytes += other.store_bytes;
+  useful_flops += other.useful_flops;
+  return *this;
+}
+
+}  // namespace tilesparse

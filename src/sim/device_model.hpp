@@ -1,0 +1,108 @@
+#pragma once
+// Analytical device model of a V100-class GPU.
+//
+// This is the substitution for the paper's Tesla V100 testbed (see
+// DESIGN.md): a roofline-style model with tile/wave quantisation,
+// kernel-launch overhead, an L2 tier for re-streamed operands, an
+// uncoalesced-access penalty, and stream concurrency.  Constants come
+// from the V100 whitepaper (peaks) or are calibrated once against the
+// qualitative anchors the paper reports (Sec. VII-B, Fig. 11):
+//   * cuSparse SpMM slower than dense below ~95% sparsity,
+//   * BlockSparse 32x32 ~3x slower than dense-TC at ~55% sparsity,
+//     crossing over only above ~90%,
+//   * TW masking overhead: 2x load transactions and ~35% loss at 0%
+//     sparsity, break-even near 40%, ~2.26x at 75%, ~11x at 99%.
+
+#include <cstddef>
+
+namespace tilesparse {
+
+enum class Core { kTensor, kCuda };
+
+struct DeviceModel {
+  // Peaks (V100 whitepaper).
+  double tensor_core_flops = 125e12;  ///< FP16 FMA peak
+  double cuda_core_flops = 15.7e12;   ///< FP32 peak
+  double dram_bandwidth = 900e9;      ///< bytes/s (HBM2)
+  double l2_bandwidth = 2500e9;       ///< effective re-stream bandwidth
+  int sm_count = 80;
+  double kernel_launch_s = 2e-6;
+  int max_streams = 16;
+
+  // Achieved-efficiency knobs (calibrated, see header comment).
+  double dense_tc_efficiency = 0.70;  ///< cuBLAS-like large-GEMM fraction of peak
+  double dense_cc_efficiency = 0.80;
+  double csr_spmm_efficiency = 0.045; ///< cuSparse unstructured gather
+  double vw_spmm_efficiency = 0.050;  ///< VW has intra-vector regularity
+  /// Masked CUTLASS kernel vs cuBLAS: the per-element mask predication
+  /// and the gather stage cost ~30% of the dense kernel's throughput —
+  /// this reproduces the paper's ~35% slowdown at zero sparsity.
+  double tw_kernel_efficiency = 0.50;
+  double uncoalesced_penalty = 4.0;   ///< txn multiplier without transpose opt
+
+  /// CUTLASS-style thread-block tile edge used for wave quantisation.
+  std::size_t tile_m = 128;
+  std::size_t tile_n = 128;
+
+  // Energy model (first-order, 12 nm-class constants): compute energy
+  // per FLOP, DRAM energy per byte, static power while the kernel runs.
+  // The paper notes TW "removes redundant computations and thus could
+  // also reduce energy" (Sec. VIII) — this quantifies that claim.
+  double pj_per_flop_tensor = 0.4;
+  double pj_per_flop_cuda = 1.2;
+  double pj_per_dram_byte = 15.0;
+  double static_watts = 60.0;
+
+  /// BlockSparse achieved efficiency by block edge (paper cites 32x32 as
+  /// the minimum for "high" performance; smaller blocks collapse).
+  double bsr_efficiency(std::size_t block) const noexcept;
+
+  double peak_flops(Core core) const noexcept {
+    return core == Core::kTensor ? tensor_core_flops : cuda_core_flops;
+  }
+  /// Element size of the datatype each core family computes in.
+  std::size_t dtype_bytes(Core core) const noexcept {
+    return core == Core::kTensor ? 2 : 4;
+  }
+  double dense_efficiency(Core core) const noexcept {
+    return core == Core::kTensor ? dense_tc_efficiency : dense_cc_efficiency;
+  }
+
+  static DeviceModel v100();
+};
+
+/// Latency decomposition of one kernel (or kernel group).
+struct LatencyResult {
+  double compute_s = 0.0;
+  double memory_s = 0.0;
+  double launch_s = 0.0;
+  double load_bytes = 0.0;
+  double store_bytes = 0.0;
+  double useful_flops = 0.0;
+
+  /// Roofline combination: compute and memory overlap, launch does not.
+  double seconds() const noexcept {
+    const double body = compute_s > memory_s ? compute_s : memory_s;
+    return body + launch_s;
+  }
+  /// Measured-FLOPS / peak-FLOPS given the core's peak.
+  double flops_efficiency(double peak) const noexcept {
+    const double s = seconds();
+    return (s > 0 && peak > 0) ? useful_flops / (s * peak) : 0.0;
+  }
+  /// First-order energy estimate: dynamic compute + DRAM traffic +
+  /// static power over the kernel duration.
+  double energy_joules(const DeviceModel& dev, Core core) const noexcept;
+
+  LatencyResult& operator+=(const LatencyResult& other) noexcept;
+};
+
+struct GemmShape {
+  std::size_t m = 0, n = 0, k = 0;
+  double flops() const noexcept {
+    return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+           static_cast<double>(k);
+  }
+};
+
+}  // namespace tilesparse

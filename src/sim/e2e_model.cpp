@@ -1,0 +1,82 @@
+#include "sim/e2e_model.hpp"
+
+#include <algorithm>
+
+#include "sim/gemm_model.hpp"
+
+namespace tilesparse {
+namespace {
+
+/// Memory-bound kernel: read + write the tensor once.
+double elementwise_seconds(const DeviceModel& dev, double bytes) {
+  return 2.0 * bytes / dev.dram_bandwidth + dev.kernel_launch_s;
+}
+
+}  // namespace
+
+E2eBreakdown e2e_latency(const DeviceModel& dev, const std::vector<E2eOp>& ops,
+                         const E2eOptions& options) {
+  E2eBreakdown out;
+  TwExecOptions tw = options.tw;
+  tw.core = options.core;
+  tw.transpose_opt = options.transpose_opt && tw.transpose_opt;
+
+  bool first_transpose_seen = false;
+  double pending_fused_bytes = 0.0;
+  bool previous_was_elementwise = false;
+
+  auto flush_fused = [&] {
+    if (pending_fused_bytes > 0.0) {
+      out.other_s += elementwise_seconds(dev, pending_fused_bytes);
+      pending_fused_bytes = 0.0;
+    }
+    previous_was_elementwise = false;
+  };
+
+  for (const auto& op : ops) {
+    switch (op.kind) {
+      case E2eOp::Kind::kGemm: {
+        flush_fused();
+        if (options.use_tw && op.pattern != nullptr) {
+          out.gemm_s += tw_gemm_latency(dev, op.shape.m, *op.pattern, tw).seconds();
+        } else {
+          out.gemm_s += dense_gemm_latency(dev, op.shape, options.core).seconds();
+        }
+        break;
+      }
+      case E2eOp::Kind::kGemmFixed: {
+        flush_fused();
+        out.gemm_s += dense_gemm_latency(dev, op.shape, options.core).seconds();
+        break;
+      }
+      case E2eOp::Kind::kElementwise: {
+        if (options.fusion && previous_was_elementwise && op.fusable) {
+          // Fused into the running chain: no extra launch, and the
+          // intermediate tensor stays in registers — only the largest
+          // read/write of the chain is charged.
+          pending_fused_bytes = std::max(pending_fused_bytes, op.bytes);
+        } else {
+          flush_fused();
+          pending_fused_bytes = op.bytes;
+          previous_was_elementwise = true;
+        }
+        break;
+      }
+      case E2eOp::Kind::kTranspose: {
+        flush_fused();
+        const bool needed = !options.transpose_opt || !first_transpose_seen;
+        if (options.transpose_opt) first_transpose_seen = true;
+        if (needed && options.use_tw) {
+          // read + write, partially uncoalesced by nature of transposition
+          out.transpose_s +=
+              2.0 * op.bytes * 1.5 / dev.dram_bandwidth + dev.kernel_launch_s;
+        }
+        break;
+      }
+    }
+  }
+  flush_fused();
+  return out;
+}
+
+}  // namespace tilesparse

@@ -1,0 +1,52 @@
+#pragma once
+// End-to-end model timeline (paper Sec. VII-D, Fig. 15): a DNN forward
+// pass is a sequence of GEMM kernels, element-wise kernels (add-bias,
+// LayerNorm, softmax, activations) and — for the TW data layout — matrix
+// transposes.  Kernel fusion merges adjacent element-wise kernels; the
+// transpose optimization moves all but the first/last transpose out of
+// the steady-state loop.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/tile_pattern.hpp"
+#include "sim/device_model.hpp"
+#include "sim/tw_model.hpp"
+
+namespace tilesparse {
+
+struct E2eOp {
+  enum class Kind {
+    kGemm,        ///< weight GEMM; runs dense or TW-sparse depending on options
+    kGemmFixed,   ///< activation-activation GEMM (e.g. QK^T) — never pruned
+    kElementwise, ///< bias/LayerNorm/softmax/activation
+    kTranspose    ///< layout change required by the TW transposed storage
+  };
+  Kind kind = Kind::kElementwise;
+  GemmShape shape;                    ///< for the GEMM kinds
+  const TilePattern* pattern = nullptr;  ///< TW pattern when pruned
+  double bytes = 0.0;                 ///< tensor size for elementwise/transpose
+  bool fusable = true;                ///< may merge into the previous elementwise
+};
+
+struct E2eOptions {
+  Core core = Core::kTensor;
+  bool use_tw = true;          ///< execute kGemm ops with their TW pattern
+  bool transpose_opt = true;   ///< hoist per-layer transposes (Fig. 15)
+  bool fusion = true;          ///< fuse adjacent elementwise kernels
+  TwExecOptions tw;            ///< kernel-level toggles for the TW GEMMs
+};
+
+struct E2eBreakdown {
+  double gemm_s = 0.0;
+  double transpose_s = 0.0;
+  double other_s = 0.0;  ///< element-wise / non-GEMM
+  double total() const noexcept { return gemm_s + transpose_s + other_s; }
+};
+
+/// Walks the op list and accumulates the latency breakdown.
+E2eBreakdown e2e_latency(const DeviceModel& dev, const std::vector<E2eOp>& ops,
+                         const E2eOptions& options);
+
+}  // namespace tilesparse

@@ -1,0 +1,36 @@
+#pragma once
+// Dense GEMM latency model (cuBLAS / CUTLASS on tensor or CUDA cores).
+
+#include "sim/device_model.hpp"
+
+namespace tilesparse {
+
+/// Utilisation of a batch of `count` equal (m x n) output grids.
+/// Models two CUTLASS/cuBLAS behaviours:
+///  * adaptive thread-block tile selection — when the default 128x128
+///    grid cannot fill the SMs, the library falls back to 64x64 / 32x32
+///    tiles (at reduced per-tile efficiency) to restore occupancy;
+///  * tile + wave quantisation — padded tiles and a partially filled
+///    last wave waste issue slots.
+/// Returns the combined efficiency factor in (0, 1].
+double batch_utilization(const DeviceModel& dev, std::size_t m, std::size_t n,
+                         std::size_t count);
+
+/// Single-problem convenience wrapper.
+double wave_utilization(const DeviceModel& dev, std::size_t m, std::size_t n);
+
+/// Latency of one dense GEMM C(MxN) = A(MxK) * B(KxN).
+/// Traffic model: A, B, C streamed once from DRAM; A is re-streamed once
+/// per extra N-tile from L2 (the output-tiled execution of paper
+/// Fig. 4-1 re-reads A per B-tile; on real GPUs those re-reads mostly
+/// hit L2, hence the separate bandwidth tier).
+LatencyResult dense_gemm_latency(const DeviceModel& dev, const GemmShape& shape,
+                                 Core core);
+
+/// Latency of a batched dense GEMM of `count` equal problems: one launch,
+/// utilisation computed over the concatenated tile grid.
+LatencyResult batched_gemm_latency(const DeviceModel& dev,
+                                   const GemmShape& shape, std::size_t count,
+                                   Core core);
+
+}  // namespace tilesparse

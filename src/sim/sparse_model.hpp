@@ -1,0 +1,32 @@
+#pragma once
+// Latency models for the sparse baselines:
+//  * CSR SpMM on CUDA cores (cuSparse) — EW and VW sparse models;
+//  * BSR block-sparse GEMM on tensor cores (BlockSparse) — BW models.
+
+#include "sim/device_model.hpp"
+
+namespace tilesparse {
+
+/// C(MxN) = A(MxK) * W(KxN) with unstructured-sparse W of the given
+/// density (nnz / (K*N)).  `vector_wise` selects the slightly more
+/// regular VW flavour.  Always CUDA cores (cuSparse has no tensor-core
+/// path for FP32 CSR).
+LatencyResult csr_spmm_latency(const DeviceModel& dev, const GemmShape& shape,
+                               double density, bool vector_wise = false);
+
+/// C = A * W with block-sparse W: `block_density` fraction of b x b
+/// blocks present.  Tensor cores (the BlockSparse library path).
+LatencyResult bsr_gemm_latency(const DeviceModel& dev, const GemmShape& shape,
+                               double block_density, std::size_t block);
+
+/// The *hypothetical* sparse tensor core of Zhu et al. (MICRO'19), which
+/// the paper contrasts against: VW sparsity executed on a modified
+/// tensor core reaches ~1.5x over dense at 75% sparsity — but requires
+/// changing the hardware.  Modelled as dense tensor-core execution with
+/// work scaled by density and a fixed architectural efficiency, so the
+/// comparison bench can show what TW forgoes by staying software-only.
+LatencyResult vw_sparse_tensor_core_latency(const DeviceModel& dev,
+                                            const GemmShape& shape,
+                                            double density);
+
+}  // namespace tilesparse

@@ -1,0 +1,71 @@
+#include "sim/systolic_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/tile_exec.hpp"
+
+namespace tilesparse {
+
+SystolicModel SystolicModel::tpu_v3() { return SystolicModel{}; }
+
+LatencyResult systolic_dense_latency(const SystolicModel& tpu,
+                                     const GemmShape& shape) {
+  LatencyResult r;
+  if (shape.m == 0 || shape.n == 0 || shape.k == 0) return r;
+  const double dim = static_cast<double>(tpu.array_dim);
+  // Weight-stationary execution: for every (K-panel, N-panel) pair the
+  // array holds a dim x dim weight block and streams M activations rows
+  // through; a panel switch costs a pipeline fill of `dim` cycles.
+  const double k_panels = std::ceil(static_cast<double>(shape.k) / dim);
+  const double n_panels = std::ceil(static_cast<double>(shape.n) / dim);
+  const double cycles =
+      k_panels * n_panels * (static_cast<double>(shape.m) + 2.0 * dim);
+  r.compute_s = cycles / tpu.clock_hz;
+  r.useful_flops = shape.flops();
+
+  const double bytes = static_cast<double>(tpu.dtype_bytes);
+  const double m = static_cast<double>(shape.m);
+  const double k = static_cast<double>(shape.k);
+  const double n = static_cast<double>(shape.n);
+  r.load_bytes = (m * k * n_panels + k * n) * bytes;  // A re-read per N panel
+  r.store_bytes = m * n * bytes;
+  r.memory_s = (r.load_bytes + r.store_bytes) / tpu.hbm_bandwidth;
+  r.launch_s = tpu.invoke_overhead_s;
+  return r;
+}
+
+LatencyResult systolic_tw_latency(const SystolicModel& tpu, std::size_t m,
+                                  const TilePattern& pattern) {
+  LatencyResult total;
+  const auto groups = build_batch_groups(pattern);
+  for (const auto& group : groups) {
+    // One invocation per group; the interface has no per-tile row masks,
+    // so the whole group runs with the tallest tile's K.
+    std::size_t k_max = 0;
+    for (auto kt : group.kept_rows) k_max = std::max(k_max, kt);
+    if (k_max == 0 || group.width == 0) continue;
+    const GemmShape shape{m, group.width * group.kept_rows.size(), k_max};
+    const LatencyResult r = systolic_dense_latency(tpu, shape);
+    if (tpu.allows_stream_overlap) {
+      total += r;  // bodies overlap-able: summed counters, roofline later
+    } else {
+      // Serialized invocations: fold each call's roofline body.
+      total.compute_s += std::max(r.compute_s, r.memory_s);
+      total.launch_s += r.launch_s;
+      total.load_bytes += r.load_bytes;
+      total.store_bytes += r.store_bytes;
+      total.useful_flops += 2.0 * static_cast<double>(m) *
+                            static_cast<double>(group.width) *
+                            [&] {
+                              double sum = 0.0;
+                              for (auto kt : group.kept_rows)
+                                sum += static_cast<double>(kt);
+                              return sum;
+                            }();
+    }
+  }
+  return total;
+}
+
+}  // namespace tilesparse

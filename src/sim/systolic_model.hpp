@@ -1,0 +1,48 @@
+#pragma once
+// TPU-style systolic-array execution model — the paper's "TW on Other
+// Platforms" discussion (Sec. VIII): supporting TW on a TPU is feasible
+// because the fundamental requirement is a medium-size GEMM (TW with
+// G = 128 needs 128 x N x 128 products, matching the 128x128 systolic
+// array), but the TPU only exposes a high-level GEMM interface, so the
+// stream-concurrency optimization is unavailable and leftover batch
+// groups serialize.
+
+#include "core/tile_pattern.hpp"
+#include "sim/device_model.hpp"
+
+namespace tilesparse {
+
+struct SystolicModel {
+  std::size_t array_dim = 128;     ///< PEs per edge (128x128 MXU)
+  double clock_hz = 940e6;         ///< TPUv3-class clock
+  double hbm_bandwidth = 900e9;    ///< bytes/s
+  std::size_t dtype_bytes = 2;     ///< bf16 inputs
+  double invoke_overhead_s = 10e-6;///< per high-level GEMM call
+  /// The high-level interface cannot overlap independent GEMMs: batch
+  /// groups serialize (the paper's point about missing low-level access).
+  bool allows_stream_overlap = false;
+
+  /// Peak MACs/s of the array.
+  double peak_macs() const noexcept {
+    return static_cast<double>(array_dim) * static_cast<double>(array_dim) *
+           clock_hz;
+  }
+
+  static SystolicModel tpu_v3();
+};
+
+/// Latency of a dense M x N x K GEMM on the systolic array: K-dim passes
+/// of the weight-stationary pipeline with array-quantised M and N, plus
+/// pipeline fill/drain and the invocation overhead.
+LatencyResult systolic_dense_latency(const SystolicModel& tpu,
+                                     const GemmShape& shape);
+
+/// Latency of a TW-pruned weight GEMM on the systolic array: one GEMM
+/// invocation per batch group (equal-width tiles share an invocation
+/// with the K dimension set to the group's maximum kept rows — the
+/// high-level interface cannot skip rows per tile, so each group pays
+/// its tallest member; this is the fidelity loss versus the GPU path).
+LatencyResult systolic_tw_latency(const SystolicModel& tpu, std::size_t m,
+                                  const TilePattern& pattern);
+
+}  // namespace tilesparse

@@ -1,0 +1,187 @@
+#include "sim/tw_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/gemm_model.hpp"
+#include "sim/sparse_model.hpp"
+
+namespace tilesparse {
+namespace {
+
+/// One kernel launch covering `count` tile-problems of equal width (the
+/// batched GEMM of Fig. 7-3), described in machine-independent terms so
+/// the stream scheduler can merge launches.
+struct LaunchDesc {
+  double padded_flops = 0.0;   ///< work on the padded tile grid
+  double useful_flops = 0.0;
+  double tiles = 0.0;          ///< thread-block tiles at the chosen edge
+  double tile_multiplier = 1.0;///< small-tile efficiency penalty
+  double l2_bytes = 0.0;       ///< gathered A panels + masks (coalesced path)
+  double dram_bytes = 0.0;     ///< B tiles + C stores (+ everything if uncoalesced)
+  double load_bytes = 0.0;
+  double store_bytes = 0.0;
+};
+
+LaunchDesc describe_launch(const DeviceModel& dev, std::size_t m,
+                           std::size_t width,
+                           const std::vector<std::size_t>& kept_rows,
+                           const TwExecOptions& options) {
+  LaunchDesc d;
+  const double bytes = static_cast<double>(dev.dtype_bytes(options.core));
+  const double md = static_cast<double>(m);
+  const double wd = static_cast<double>(width);
+  double sum_k = 0.0;
+  for (auto kt : kept_rows) sum_k += static_cast<double>(kt);
+  const auto count = kept_rows.size();
+
+  d.useful_flops = 2.0 * md * wd * sum_k;
+
+  // Adaptive thread-block tile edge, as in batch_utilization: pick the
+  // largest edge that fills the SMs, padding m and width up to it.
+  struct TileChoice {
+    std::size_t edge;
+    double multiplier;
+  };
+  static constexpr TileChoice kChoices[] = {{128, 1.0}, {64, 0.85}, {32, 0.70}};
+  for (const auto& choice : kChoices) {
+    const double e = static_cast<double>(choice.edge);
+    const double m_pad = std::ceil(md / e) * e;
+    const double w_pad = std::ceil(wd / e) * e;
+    d.tiles = (m_pad / e) * (w_pad / e) * static_cast<double>(count);
+    d.tile_multiplier = choice.multiplier;
+    d.padded_flops = 2.0 * m_pad * w_pad * sum_k;
+    if (d.tiles >= static_cast<double>(dev.sm_count)) break;
+  }
+
+  // Traffic.  Per tile: the gathered A panel (M x K_t) re-streamed from
+  // L2, plus the int32 row/column masks read alongside every A panel
+  // element — reproducing the paper's measured ~2x load transactions at
+  // zero sparsity.  B tiles stream once from DRAM, C stores once.
+  const double a_gather = md * sum_k * bytes;
+  // int32 masks accompany every gathered A panel; with shared-memory
+  // reuse the net extra traffic is about the size of the A gather itself,
+  // which is what doubles total load transactions at zero sparsity in
+  // the paper's counter measurements (Fig. 11).
+  const double mask_bytes = md * sum_k * bytes;
+  const double b_bytes = sum_k * wd * bytes;
+  const double c_bytes = md * wd * bytes * static_cast<double>(count);
+  const double uncoalesced =
+      options.transpose_opt ? 1.0 : dev.uncoalesced_penalty;
+
+  const double gather_total = (a_gather + mask_bytes) * uncoalesced;
+  const double store_total = c_bytes * uncoalesced;
+  if (options.transpose_opt) {
+    d.l2_bytes = gather_total;
+    d.dram_bytes = b_bytes + store_total;
+  } else {
+    d.dram_bytes = gather_total + b_bytes + store_total;
+  }
+  d.load_bytes = gather_total + b_bytes;
+  d.store_bytes = store_total;
+  return d;
+}
+
+double launch_memory_seconds(const DeviceModel& dev, const LaunchDesc& d) {
+  return d.l2_bytes / dev.l2_bandwidth + d.dram_bytes / dev.dram_bandwidth;
+}
+
+double wave_factor(const DeviceModel& dev, double tiles) {
+  if (tiles <= 0.0) return 1.0;
+  const double waves = std::ceil(tiles / static_cast<double>(dev.sm_count));
+  return tiles / (waves * static_cast<double>(dev.sm_count));
+}
+
+}  // namespace
+
+LatencyResult tw_gemm_latency(const DeviceModel& dev, std::size_t m,
+                              const TilePattern& pattern,
+                              const TwExecOptions& options) {
+  // Build launches: with batching, one per equal-width group; without,
+  // one per tile.
+  std::vector<LaunchDesc> launches;
+  const auto groups = build_batch_groups(pattern);
+  for (const auto& group : groups) {
+    if (options.batching) {
+      launches.push_back(
+          describe_launch(dev, m, group.width, group.kept_rows, options));
+    } else {
+      for (auto kt : group.kept_rows) {
+        launches.push_back(describe_launch(dev, m, group.width, {kt}, options));
+      }
+    }
+  }
+
+  LatencyResult total;
+  // First touch of A from DRAM, once per weight matrix.
+  const double bytes = static_cast<double>(dev.dtype_bytes(options.core));
+  const double a_first =
+      static_cast<double>(m) * static_cast<double>(pattern.k) * bytes;
+  total.memory_s += a_first / dev.dram_bandwidth;
+  total.load_bytes += a_first;
+  if (launches.empty()) return total;
+
+  const double peak = dev.peak_flops(options.core) * dev.tw_kernel_efficiency;
+
+  if (options.streams) {
+    // Streams merge the concurrent grids: utilisation is computed over
+    // the union of all launches' tiles, launch gaps amortise across the
+    // available streams.
+    double padded = 0.0, tiles = 0.0, mult_weighted = 0.0;
+    for (const auto& l : launches) {
+      padded += l.padded_flops;
+      tiles += l.tiles;
+      mult_weighted += l.tile_multiplier * l.padded_flops;
+      total.memory_s += launch_memory_seconds(dev, l);
+      total.load_bytes += l.load_bytes;
+      total.store_bytes += l.store_bytes;
+      total.useful_flops += l.useful_flops;
+    }
+    const double mult = padded > 0.0 ? mult_weighted / padded : 1.0;
+    const double util = std::clamp(wave_factor(dev, tiles) * mult, 0.02, 1.0);
+    total.compute_s += padded / (peak * util);
+    // Streams hide most of the launch gap but each kernel still pays a
+    // CPU-side dispatch cost that cannot overlap (this is why batching
+    // matters even with streams, paper Fig. 7-3 vs 7-4).
+    const double launch_groups =
+        std::ceil(static_cast<double>(launches.size()) /
+                  static_cast<double>(std::max(1, dev.max_streams)));
+    constexpr double kDispatchCost = 0.3e-6;
+    total.launch_s = dev.kernel_launch_s * launch_groups +
+                     kDispatchCost * static_cast<double>(launches.size());
+  } else {
+    // Serial: each launch's roofline body completes before the next
+    // starts; fold the bodies into compute_s.
+    double body = 0.0;
+    for (const auto& l : launches) {
+      const double util =
+          std::clamp(wave_factor(dev, l.tiles) * l.tile_multiplier, 0.02, 1.0);
+      const double compute = l.padded_flops / (peak * util);
+      body += std::max(compute, launch_memory_seconds(dev, l));
+      total.load_bytes += l.load_bytes;
+      total.store_bytes += l.store_bytes;
+      total.useful_flops += l.useful_flops;
+      total.launch_s += dev.kernel_launch_s;
+    }
+    total.compute_s += body;
+  }
+  return total;
+}
+
+LatencyResult tew_gemm_latency(const DeviceModel& dev, std::size_t m,
+                               const TilePattern& pattern, double ew_fraction,
+                               const TwExecOptions& options) {
+  LatencyResult tw = tw_gemm_latency(dev, m, pattern, options);
+  const GemmShape shape{m, pattern.n, pattern.k};
+  LatencyResult ew = csr_spmm_latency(dev, shape, ew_fraction);
+  // Serialize the two phases: body times add, counters add.
+  LatencyResult total;
+  total.compute_s = tw.seconds() - tw.launch_s + (ew.seconds() - ew.launch_s);
+  total.launch_s = tw.launch_s + ew.launch_s;
+  total.load_bytes = tw.load_bytes + ew.load_bytes;
+  total.store_bytes = tw.store_bytes + ew.store_bytes;
+  total.useful_flops = tw.useful_flops + ew.useful_flops;
+  return total;
+}
+
+}  // namespace tilesparse

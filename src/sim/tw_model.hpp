@@ -1,0 +1,39 @@
+#pragma once
+// Latency model of the TW execution pipeline (paper Sec. VI, Fig. 7):
+// compacted tiles -> equal-width batched GEMMs -> stream overlap, with
+// toggles for each optimization so the ablations of Fig. 15 /
+// bench/ablation_opts can turn them off individually.
+
+#include "core/tile_exec.hpp"
+#include "core/tile_pattern.hpp"
+#include "sim/device_model.hpp"
+
+namespace tilesparse {
+
+struct TwExecOptions {
+  Core core = Core::kTensor;
+  /// Transposed data layout restoring coalesced accesses (Fig. 7-2).
+  bool transpose_opt = true;
+  /// Equal-width tile batching into shared launches (Fig. 7-3).
+  bool batching = true;
+  /// Stream concurrency across batch groups (Fig. 7-4).
+  bool streams = true;
+};
+
+/// Latency of C(M x N) = A(M x K) * W where W carries the TW pattern.
+/// Includes the int32 mask-load overhead the paper measures as 2x load
+/// transactions at zero sparsity (Fig. 11).
+LatencyResult tw_gemm_latency(const DeviceModel& dev, std::size_t m,
+                              const TilePattern& pattern,
+                              const TwExecOptions& options = {});
+
+/// Latency of a TEW product: the TW part per tw_gemm_latency plus the
+/// restored EW remainder executed as CSR SpMM on the CUDA cores.  The
+/// two parts serialize (different core families cannot productively
+/// share the SMs' issue slots — this is exactly why TEW loses its edge
+/// on tensor cores, Fig. 10b).
+LatencyResult tew_gemm_latency(const DeviceModel& dev, std::size_t m,
+                               const TilePattern& pattern, double ew_fraction,
+                               const TwExecOptions& options = {});
+
+}  // namespace tilesparse

@@ -1,0 +1,90 @@
+#include "sparse/bsr.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace tilesparse {
+
+Bsr bsr_from_dense(const MatrixF& dense, std::size_t block, float tol) {
+  if (block == 0 || dense.rows() % block != 0 || dense.cols() % block != 0) {
+    throw std::invalid_argument("bsr_from_dense: shape not divisible by block");
+  }
+  Bsr out;
+  out.rows = dense.rows();
+  out.cols = dense.cols();
+  out.block = block;
+  const std::size_t brows = out.block_rows(), bcols = out.block_cols();
+  out.block_row_ptr.reserve(brows + 1);
+  out.block_row_ptr.push_back(0);
+  for (std::size_t br = 0; br < brows; ++br) {
+    for (std::size_t bc = 0; bc < bcols; ++bc) {
+      bool any = false;
+      for (std::size_t r = 0; r < block && !any; ++r)
+        for (std::size_t c = 0; c < block; ++c)
+          if (std::fabs(dense(br * block + r, bc * block + c)) > tol) {
+            any = true;
+            break;
+          }
+      if (!any) continue;
+      out.block_col_idx.push_back(static_cast<std::int32_t>(bc));
+      for (std::size_t r = 0; r < block; ++r)
+        for (std::size_t c = 0; c < block; ++c)
+          out.values.push_back(dense(br * block + r, bc * block + c));
+    }
+    out.block_row_ptr.push_back(static_cast<std::int64_t>(out.block_col_idx.size()));
+  }
+  return out;
+}
+
+MatrixF bsr_to_dense(const Bsr& m) {
+  MatrixF dense(m.rows, m.cols);
+  const std::size_t b = m.block;
+  for (std::size_t br = 0; br < m.block_rows(); ++br) {
+    for (auto i = m.block_row_ptr[br]; i < m.block_row_ptr[br + 1]; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const auto bc = static_cast<std::size_t>(m.block_col_idx[idx]);
+      const float* blk = m.values.data() + idx * b * b;
+      for (std::size_t r = 0; r < b; ++r)
+        for (std::size_t c = 0; c < b; ++c)
+          dense(br * b + r, bc * b + c) = blk[r * b + c];
+    }
+  }
+  return dense;
+}
+
+void bsr_gemm_accumulate(const MatrixF& a, const Bsr& b, MatrixF& c) {
+  assert(a.cols() == b.rows);
+  assert(c.rows() == a.rows() && c.cols() == b.cols);
+  const std::size_t blk = b.block;
+  const std::size_t m = a.rows();
+  // Parallelise over block rows of B (i.e. K-strips).  Different K-strips
+  // accumulate into the same C columns, so each thread works on a private
+  // row range of A/C instead: parallel over output row blocks.
+  constexpr std::size_t kRowBlock = 32;
+  const std::size_t row_blocks = (m + kRowBlock - 1) / kRowBlock;
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t rb = 0; rb < row_blocks; ++rb) {
+    const std::size_t i0 = rb * kRowBlock;
+    const std::size_t i1 = std::min(m, i0 + kRowBlock);
+    for (std::size_t br = 0; br < b.block_rows(); ++br) {
+      for (auto bi = b.block_row_ptr[br]; bi < b.block_row_ptr[br + 1]; ++bi) {
+        const auto idx = static_cast<std::size_t>(bi);
+        const auto bc = static_cast<std::size_t>(b.block_col_idx[idx]);
+        const float* blkvals = b.values.data() + idx * blk * blk;
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float* arow = a.data() + i * a.cols() + br * blk;
+          float* crow = c.data() + i * c.cols() + bc * blk;
+          for (std::size_t r = 0; r < blk; ++r) {
+            const float av = arow[r];
+            if (av == 0.0f) continue;
+            const float* brow = blkvals + r * blk;
+            for (std::size_t j = 0; j < blk; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tilesparse

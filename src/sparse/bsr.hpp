@@ -1,0 +1,45 @@
+#pragma once
+// Block Sparse Row storage — the format behind the BW baseline
+// (BlockSparse / torch-blocksparse in the paper).  Non-zero blocks are
+// dense b x b panels, so the BW GEMM runs dense block GEMMs and is
+// tensor-core friendly; its weakness (paper Fig. 9) is the coarse
+// pruning granularity.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace tilesparse {
+
+struct Bsr {
+  std::size_t rows = 0;          ///< element rows
+  std::size_t cols = 0;          ///< element cols
+  std::size_t block = 0;         ///< block edge length b
+  std::vector<std::int64_t> block_row_ptr;  ///< size rows/b + 1
+  std::vector<std::int32_t> block_col_idx;  ///< per stored block
+  std::vector<float> values;     ///< blocks back-to-back, row-major inside
+
+  std::size_t block_rows() const noexcept { return block ? rows / block : 0; }
+  std::size_t block_cols() const noexcept { return block ? cols / block : 0; }
+  std::size_t stored_blocks() const noexcept { return block_col_idx.size(); }
+  /// Fraction of blocks that are stored (1 - block sparsity).
+  double block_density() const noexcept {
+    const double total =
+        static_cast<double>(block_rows()) * static_cast<double>(block_cols());
+    return total > 0 ? static_cast<double>(stored_blocks()) / total : 0.0;
+  }
+};
+
+/// Builds BSR from dense; a block is stored iff it contains any
+/// |x| > tol.  rows and cols must be multiples of `block`.
+Bsr bsr_from_dense(const MatrixF& dense, std::size_t block, float tol = 0.0f);
+
+/// Expands back to dense.
+MatrixF bsr_to_dense(const Bsr& m);
+
+/// C += A(M x K dense) * B(K x N, this BSR).  Parallel over block columns
+/// of B via per-thread column strips.
+void bsr_gemm_accumulate(const MatrixF& a, const Bsr& b, MatrixF& c);
+
+}  // namespace tilesparse

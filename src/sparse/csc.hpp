@@ -1,0 +1,33 @@
+#pragma once
+// Compressed Sparse Column storage — used by the hybrid TEW pattern:
+// the paper stores the restored element-wise remainder of each tile in
+// CSC format (Sec. IV-A, Fig. 4-4) and executes it with a separate
+// sparse GEMM on the CUDA cores.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace tilesparse {
+
+struct Csc {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::int64_t> col_ptr;  ///< size cols + 1
+  std::vector<std::int32_t> row_idx;  ///< size nnz, ascending within a column
+  std::vector<float> values;          ///< size nnz
+
+  std::size_t nnz() const noexcept { return values.size(); }
+};
+
+/// Builds CSC from a dense matrix, dropping |x| <= tol.
+Csc csc_from_dense(const MatrixF& dense, float tol = 0.0f);
+
+/// Expands back to dense.
+MatrixF csc_to_dense(const Csc& m);
+
+/// C += A(MxK dense) * B(KxN, this CSC).  Column-parallel.
+void csc_gemm_accumulate(const MatrixF& a, const Csc& b, MatrixF& c);
+
+}  // namespace tilesparse

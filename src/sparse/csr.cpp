@@ -1,0 +1,43 @@
+#include "sparse/csr.hpp"
+
+#include <cmath>
+
+namespace tilesparse {
+
+Csr csr_from_dense(const MatrixF& dense, float tol) {
+  Csr out;
+  out.rows = dense.rows();
+  out.cols = dense.cols();
+  out.row_ptr.reserve(out.rows + 1);
+  out.row_ptr.push_back(0);
+  for (std::size_t r = 0; r < out.rows; ++r) {
+    for (std::size_t c = 0; c < out.cols; ++c) {
+      const float v = dense(r, c);
+      if (std::fabs(v) > tol) {
+        out.col_idx.push_back(static_cast<std::int32_t>(c));
+        out.values.push_back(v);
+      }
+    }
+    out.row_ptr.push_back(static_cast<std::int64_t>(out.values.size()));
+  }
+  return out;
+}
+
+MatrixF csr_to_dense(const Csr& m) {
+  MatrixF dense(m.rows, m.cols);
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    for (auto i = m.row_ptr[r]; i < m.row_ptr[r + 1]; ++i) {
+      dense(r, static_cast<std::size_t>(m.col_idx[static_cast<std::size_t>(i)])) =
+          m.values[static_cast<std::size_t>(i)];
+    }
+  }
+  return dense;
+}
+
+std::size_t csr_bytes(const Csr& m) noexcept {
+  return m.values.size() * sizeof(float) +
+         m.col_idx.size() * sizeof(std::int32_t) +
+         m.row_ptr.size() * sizeof(std::int64_t);
+}
+
+}  // namespace tilesparse

@@ -1,0 +1,35 @@
+#pragma once
+// Compressed Sparse Row storage — the format cuSparse consumes for the
+// EW/VW baselines in the paper's efficiency analysis (Sec. III-B).
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace tilesparse {
+
+struct Csr {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::int64_t> row_ptr;   ///< size rows + 1
+  std::vector<std::int32_t> col_idx;   ///< size nnz, ascending within a row
+  std::vector<float> values;           ///< size nnz
+
+  std::size_t nnz() const noexcept { return values.size(); }
+  double density() const noexcept {
+    const double total = static_cast<double>(rows) * static_cast<double>(cols);
+    return total > 0 ? static_cast<double>(nnz()) / total : 0.0;
+  }
+};
+
+/// Builds CSR from a dense matrix, dropping |x| <= tol.
+Csr csr_from_dense(const MatrixF& dense, float tol = 0.0f);
+
+/// Expands back to dense (exact inverse of csr_from_dense up to dropped zeros).
+MatrixF csr_to_dense(const Csr& m);
+
+/// Storage footprint in bytes (values + indices + pointers).
+std::size_t csr_bytes(const Csr& m) noexcept;
+
+}  // namespace tilesparse

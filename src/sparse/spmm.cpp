@@ -1,0 +1,45 @@
+#include "sparse/spmm.hpp"
+
+#include <cassert>
+
+namespace tilesparse {
+
+MatrixF csr_spmm(const Csr& a, const MatrixF& b) {
+  assert(a.cols == b.rows());
+  MatrixF c(a.rows, b.cols());
+  const std::size_t n = b.cols();
+#pragma omp parallel for schedule(dynamic, 16)
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    float* crow = c.data() + r * n;
+    for (auto i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const auto k = static_cast<std::size_t>(a.col_idx[idx]);
+      const float v = a.values[idx];
+      const float* brow = b.data() + k * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += v * brow[j];
+    }
+  }
+  return c;
+}
+
+MatrixF dense_times_csr(const MatrixF& a, const Csr& b) {
+  assert(a.cols() == b.rows);
+  MatrixF c(a.rows(), b.cols);
+  const std::size_t m = a.rows();
+#pragma omp parallel for schedule(dynamic, 16)
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * a.cols();
+    float* crow = c.data() + i * c.cols();
+    for (std::size_t k = 0; k < b.rows; ++k) {
+      const float av = arow[k];
+      if (av == 0.0f) continue;
+      for (auto p = b.row_ptr[k]; p < b.row_ptr[k + 1]; ++p) {
+        const auto idx = static_cast<std::size_t>(p);
+        crow[b.col_idx[idx]] += av * b.values[idx];
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace tilesparse

@@ -1,0 +1,74 @@
+#include "tensor/half.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace tilesparse {
+
+std::uint16_t float_to_half_bits(float value) noexcept {
+  const std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  const std::int32_t exponent = static_cast<std::int32_t>((f >> 23) & 0xffu) - 127 + 15;
+  std::uint32_t mantissa = f & 0x007fffffu;
+
+  if (((f >> 23) & 0xffu) == 0xffu) {
+    // Inf / NaN: preserve NaN-ness with a quiet bit.
+    return static_cast<std::uint16_t>(sign | 0x7c00u | (mantissa ? 0x0200u : 0u));
+  }
+  if (exponent >= 0x1f) {
+    // Overflow -> infinity.
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (exponent <= 0) {
+    // Subnormal or underflow to zero.
+    if (exponent < -10) return static_cast<std::uint16_t>(sign);
+    mantissa |= 0x00800000u;  // implicit leading 1
+    const int shift = 14 - exponent;
+    // Round to nearest even.
+    const std::uint32_t rounded =
+        (mantissa >> shift) +
+        (((mantissa >> (shift - 1)) & 1u) &
+         (((mantissa & ((1u << (shift - 1)) - 1u)) != 0u) | ((mantissa >> shift) & 1u)));
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+  // Normalised: round mantissa from 23 to 10 bits, nearest even.
+  std::uint32_t half_mantissa = mantissa >> 13;
+  const std::uint32_t round_bit = (mantissa >> 12) & 1u;
+  const std::uint32_t sticky = (mantissa & 0x0fffu) != 0u;
+  half_mantissa += round_bit & (sticky | (half_mantissa & 1u));
+  std::uint32_t result =
+      sign | (static_cast<std::uint32_t>(exponent) << 10) | (half_mantissa & 0x03ffu);
+  if (half_mantissa == 0x0400u) result = sign | ((static_cast<std::uint32_t>(exponent) + 1) << 10);
+  if (((result >> 10) & 0x1fu) >= 0x1fu) return static_cast<std::uint16_t>(sign | 0x7c00u);
+  return static_cast<std::uint16_t>(result);
+}
+
+float half_bits_to_float(std::uint16_t bits) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exponent = (bits >> 10) & 0x1fu;
+  std::uint32_t mantissa = bits & 0x03ffu;
+
+  std::uint32_t f;
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      f = sign;  // signed zero
+    } else {
+      // Subnormal: normalise.
+      int e = -1;
+      std::uint32_t m = mantissa;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x0400u) == 0);
+      f = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+          ((m & 0x03ffu) << 13);
+    }
+  } else if (exponent == 0x1f) {
+    f = sign | 0x7f800000u | (mantissa << 13);  // Inf / NaN
+  } else {
+    f = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+  }
+  return std::bit_cast<float>(f);
+}
+
+}  // namespace tilesparse

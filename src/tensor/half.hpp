@@ -1,0 +1,46 @@
+#pragma once
+// Software IEEE-754 binary16 ("half") emulation.
+//
+// The paper runs all tensor-core inference in FP16 with FP32
+// accumulation (Sec. VII-A).  We have no tensor cores, so the masked
+// GEMM kernel in src/gemm can optionally round its inputs through this
+// type to reproduce tensor-core numerics: inputs quantised to half,
+// products accumulated in float.
+
+#include <cstdint>
+
+namespace tilesparse {
+
+/// Round-to-nearest-even float -> binary16 bit pattern.
+std::uint16_t float_to_half_bits(float value) noexcept;
+
+/// binary16 bit pattern -> float (exact).
+float half_bits_to_float(std::uint16_t bits) noexcept;
+
+/// Value type wrapper.  Storage-only: arithmetic goes through float.
+class half {
+ public:
+  half() = default;
+  explicit half(float value) noexcept : bits_(float_to_half_bits(value)) {}
+
+  explicit operator float() const noexcept { return half_bits_to_float(bits_); }
+
+  std::uint16_t bits() const noexcept { return bits_; }
+  static half from_bits(std::uint16_t bits) noexcept {
+    half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  friend bool operator==(half a, half b) noexcept { return a.bits_ == b.bits_; }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+/// Rounds a float through binary16 and back (the tensor-core input path).
+inline float round_to_half(float value) noexcept {
+  return half_bits_to_float(float_to_half_bits(value));
+}
+
+}  // namespace tilesparse

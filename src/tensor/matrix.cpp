@@ -1,0 +1,10 @@
+#include "tensor/matrix.hpp"
+
+namespace tilesparse {
+// Explicit instantiations keep template bloat out of every TU that only
+// needs the common element types.
+template class Matrix<float>;
+template class Matrix<double>;
+template class Matrix<unsigned char>;
+template class Matrix<int>;
+}  // namespace tilesparse

@@ -1,0 +1,103 @@
+#pragma once
+// Row-major dense matrix with 64-byte-aligned storage.
+//
+// This is the single dense container shared by the GEMM substrate, the
+// pruning algorithms and the NN layers.  It intentionally stays small:
+// owning storage + shape + a few element accessors.  Algorithms live in
+// free functions (tensor/ops.hpp) per Core Guidelines C.4.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <utility>
+
+namespace tilesparse {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(allocate(rows * cols)) {
+    for (std::size_t i = 0; i < rows_ * cols_; ++i) data_[i] = T{};
+  }
+
+  Matrix(const Matrix& other) : Matrix(other.rows_, other.cols_) {
+    for (std::size_t i = 0; i < rows_ * cols_; ++i) data_[i] = other.data_[i];
+  }
+
+  Matrix(Matrix&& other) noexcept
+      : rows_(std::exchange(other.rows_, 0)),
+        cols_(std::exchange(other.cols_, 0)),
+        data_(std::exchange(other.data_, nullptr)) {}
+
+  Matrix& operator=(Matrix other) noexcept {
+    swap(other);
+    return *this;
+  }
+
+  ~Matrix() { std::free(data_); }
+
+  void swap(Matrix& other) noexcept {
+    std::swap(rows_, other.rows_);
+    std::swap(cols_, other.cols_);
+    std::swap(data_, other.data_);
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return rows_ * cols_; }
+  bool empty() const noexcept { return size() == 0; }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+
+  std::span<T> flat() noexcept { return {data_, size()}; }
+  std::span<const T> flat() const noexcept { return {data_, size()}; }
+
+  T& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Row r as a contiguous span.
+  std::span<T> row(std::size_t r) noexcept {
+    assert(r < rows_);
+    return {data_ + r * cols_, cols_};
+  }
+  std::span<const T> row(std::size_t r) const noexcept {
+    assert(r < rows_);
+    return {data_ + r * cols_, cols_};
+  }
+
+  void fill(T value) noexcept {
+    for (std::size_t i = 0; i < size(); ++i) data_[i] = value;
+  }
+
+ private:
+  static T* allocate(std::size_t count) {
+    if (count == 0) return nullptr;
+    // 64-byte alignment: cache-line aligned rows help the packed GEMM
+    // micro-kernel vectorise without peel loops.
+    const std::size_t bytes = ((count * sizeof(T) + 63) / 64) * 64;
+    void* p = std::aligned_alloc(64, bytes);
+    if (!p) throw std::bad_alloc{};
+    return static_cast<T*>(p);
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  T* data_ = nullptr;
+};
+
+using MatrixF = Matrix<float>;
+using MatrixU8 = Matrix<unsigned char>;
+
+}  // namespace tilesparse

@@ -1,0 +1,100 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "tensor/half.hpp"
+
+namespace tilesparse {
+
+void fill_normal(MatrixF& m, Rng& rng, float mean, float stddev) {
+  for (float& v : m.flat()) v = rng.normal(mean, stddev);
+}
+
+void fill_uniform(MatrixF& m, Rng& rng, float lo, float hi) {
+  for (float& v : m.flat()) v = rng.uniform(lo, hi);
+}
+
+void fill_kaiming(MatrixF& m, Rng& rng) {
+  const float fan_in = static_cast<float>(m.rows() > 0 ? m.rows() : 1);
+  fill_normal(m, rng, 0.0f, std::sqrt(2.0f / fan_in));
+}
+
+MatrixF transposed(const MatrixF& m) {
+  MatrixF out(m.cols(), m.rows());
+  transpose_into(m, out);
+  return out;
+}
+
+void transpose_into(const MatrixF& m, MatrixF& out) {
+  assert(out.rows() == m.cols() && out.cols() == m.rows());
+  constexpr std::size_t kBlock = 32;  // fits two 32x32 float panels in L1
+  const std::size_t rows = m.rows(), cols = m.cols();
+  for (std::size_t rb = 0; rb < rows; rb += kBlock) {
+    const std::size_t rend = std::min(rows, rb + kBlock);
+    for (std::size_t cb = 0; cb < cols; cb += kBlock) {
+      const std::size_t cend = std::min(cols, cb + kBlock);
+      for (std::size_t r = rb; r < rend; ++r)
+        for (std::size_t c = cb; c < cend; ++c) out(c, r) = m(r, c);
+    }
+  }
+}
+
+float max_abs_diff(const MatrixF& a, const MatrixF& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  float worst = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::fabs(pa[i] - pb[i]));
+  return worst;
+}
+
+double frobenius_norm(const MatrixF& m) {
+  double acc = 0.0;
+  for (float v : m.flat()) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+double sparsity(const MatrixF& m, float tol) {
+  if (m.empty()) return 0.0;
+  return 1.0 - static_cast<double>(count_nonzero(m, tol)) /
+                   static_cast<double>(m.size());
+}
+
+std::size_t count_nonzero(const MatrixF& m, float tol) {
+  std::size_t count = 0;
+  for (float v : m.flat())
+    if (std::fabs(v) > tol) ++count;
+  return count;
+}
+
+void apply_mask(MatrixF& m, const MatrixU8& mask) {
+  assert(m.rows() == mask.rows() && m.cols() == mask.cols());
+  float* pm = m.data();
+  const unsigned char* pk = mask.data();
+  for (std::size_t i = 0; i < m.size(); ++i)
+    if (!pk[i]) pm[i] = 0.0f;
+}
+
+void round_matrix_to_half(MatrixF& m) {
+  for (float& v : m.flat()) v = round_to_half(v);
+}
+
+MatrixF matmul_reference(const MatrixF& a, const MatrixF& b) {
+  assert(a.cols() == b.rows());
+  MatrixF c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = a(i, k);
+      if (aik == 0.0f) continue;
+      const float* brow = b.data() + k * b.cols();
+      float* crow = c.data() + i * c.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+}  // namespace tilesparse

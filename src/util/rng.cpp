@@ -1,0 +1,9 @@
+#include "util/rng.hpp"
+
+// Header-only; this translation unit exists so the library has an archive
+// member and the header is compiled standalone at least once.
+namespace tilesparse {
+namespace {
+[[maybe_unused]] Rng instantiation_check{42};
+}  // namespace
+}  // namespace tilesparse

@@ -1,0 +1,65 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tilesparse {
+
+double mean(std::span<const float> values) noexcept {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (float v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const float> values) noexcept {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (float v : values) {
+    const double d = v - m;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+float percentile_inplace(std::vector<float>& values, double q) {
+  if (values.empty()) return 0.0f;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return static_cast<float>(values[lo] + (values[hi] - values[lo]) * frac);
+}
+
+float percentile(std::span<const float> values, double q) {
+  std::vector<float> copy(values.begin(), values.end());
+  return percentile_inplace(copy, q);
+}
+
+std::vector<double> empirical_cdf(std::span<const float> values,
+                                  std::span<const float> grid) {
+  std::vector<float> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> cdf;
+  cdf.reserve(grid.size());
+  for (float g : grid) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), g);
+    cdf.push_back(sorted.empty()
+                      ? 0.0
+                      : static_cast<double>(it - sorted.begin()) /
+                            static_cast<double>(sorted.size()));
+  }
+  return cdf;
+}
+
+double geomean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace tilesparse

@@ -1,0 +1,37 @@
+#pragma once
+// Small statistics helpers used by the pruning algorithms (percentile
+// thresholds over importance scores, Algorithm 1 lines 7/15) and by the
+// experiment reports (CDFs, means).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tilesparse {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const float> values) noexcept;
+
+/// Population standard deviation; 0 for fewer than 2 values.
+double stddev(std::span<const float> values) noexcept;
+
+/// The q-th percentile (q in [0, 1]) using linear interpolation between
+/// order statistics, matching numpy.percentile's default.  The input is
+/// copied; it is not modified.  Empty input returns 0.
+float percentile(std::span<const float> values, double q);
+
+/// As percentile(), but the caller donates a scratch vector that will be
+/// sorted in place (avoids the copy in hot pruning loops).
+float percentile_inplace(std::vector<float>& values, double q);
+
+/// Empirical CDF of `values` evaluated at each point of `grid`
+/// (fraction of values <= grid[i]).  Used for the Fig. 6 zero-element
+/// cumulative-probability plot.
+std::vector<double> empirical_cdf(std::span<const float> values,
+                                  std::span<const float> grid);
+
+/// Geometric mean of positive values; 0 for an empty span.  Used for
+/// the cross-model average speedups quoted in Sec. VII-C.
+double geomean(std::span<const double> values) noexcept;
+
+}  // namespace tilesparse

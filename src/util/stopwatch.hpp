@@ -1,0 +1,45 @@
+#pragma once
+// Wall-clock timing helpers for the measured (CPU substrate) benchmarks.
+
+#include <chrono>
+#include <cstdint>
+
+namespace tilesparse {
+
+/// Monotonic stopwatch.  Construction starts it.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction / last restart.
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const noexcept { return seconds() * 1e3; }
+  double microseconds() const noexcept { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Runs fn() repeatedly: a warm-up pass plus `iters` timed passes, and
+/// returns the *minimum* per-iteration time in seconds.  Minimum (not
+/// mean) is the standard estimator for short compute kernels since all
+/// noise is additive.
+template <typename Fn>
+double time_best_of(Fn&& fn, int iters = 5) {
+  fn();  // warm-up: page-in, caches, thread pool spin-up
+  double best = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    Stopwatch sw;
+    fn();
+    best = sw.seconds() < best ? sw.seconds() : best;
+  }
+  return best;
+}
+
+}  // namespace tilesparse

@@ -1,0 +1,47 @@
+#pragma once
+// Console table / CSV emitter used by the per-figure benchmark binaries.
+//
+// Every bench prints (a) a human-readable aligned table mirroring the
+// rows/series of the paper figure it reproduces and (b) optionally the
+// same data as CSV for plotting.
+
+#include <string>
+#include <vector>
+
+namespace tilesparse {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the column headers.  Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a pre-formatted row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 4);
+
+  /// Renders the aligned table to a string (including title and rule lines).
+  std::string to_string() const;
+
+  /// Renders as CSV (header + rows, comma separated, quotes where needed).
+  std::string to_csv() const;
+
+  /// Prints to stdout (table form).
+  void print() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for bench output).
+std::string format_double(double value, int precision = 4);
+
+}  // namespace tilesparse

@@ -1,0 +1,109 @@
+#include "util/threadpool.hpp"
+
+#include <algorithm>
+
+namespace tilesparse {
+
+thread_local bool ThreadPool::inside_worker_ = false;
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    const auto hw = std::thread::hardware_concurrency();
+    threads = hw > 1 ? hw - 1 : 0;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::drain(Task& task) {
+  for (;;) {
+    const std::size_t start = task.next.fetch_add(task.chunk);
+    if (start >= task.end) break;
+    const std::size_t stop = std::min(task.end, start + task.chunk);
+    task.body(start, stop);
+    if (task.remaining_chunks.fetch_sub(1) == 1) {
+      std::lock_guard lock(task.done_mutex);
+      task.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  inside_worker_ = true;
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Task* task = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return stop_ || (current_ && generation_ != seen_generation); });
+      if (stop_) return;
+      task = current_;
+      seen_generation = generation_;
+    }
+    drain(*task);
+  }
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t begin, std::size_t end, std::size_t min_chunk,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  min_chunk = std::max<std::size_t>(1, min_chunk);
+
+  // Nested or tiny calls run inline: simpler and avoids deadlock.
+  if (inside_worker_ || workers_.empty() || total <= min_chunk) {
+    body(begin, end);
+    return;
+  }
+
+  Task task;
+  task.body = [&body, begin](std::size_t lo, std::size_t hi) { body(begin + lo, begin + hi); };
+  task.end = total;
+  // Aim for ~4 chunks per worker for load balance, but never below min_chunk.
+  const std::size_t target_chunks = worker_count() * 4;
+  task.chunk = std::max(min_chunk, (total + target_chunks - 1) / target_chunks);
+  task.remaining_chunks = (total + task.chunk - 1) / task.chunk;
+
+  {
+    std::lock_guard lock(mutex_);
+    current_ = &task;
+    ++generation_;
+  }
+  cv_.notify_all();
+  drain(task);  // the caller participates
+
+  {
+    std::unique_lock lock(task.done_mutex);
+    task.done_cv.wait(lock, [&] { return task.remaining_chunks.load() == 0; });
+  }
+  {
+    std::lock_guard lock(mutex_);
+    current_ = nullptr;
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_for_chunked(begin, end, 1, [&body](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+}  // namespace tilesparse

@@ -1,0 +1,76 @@
+#pragma once
+// A small work-sharing thread pool with a blocking parallel_for.
+//
+// The GEMM substrate uses this pool to emulate the multi-SM parallel
+// execution of tiled GEMM (each output tile maps to one "core", mirroring
+// the thread-block-per-SM mapping described in the paper, Sec. IV-A).
+//
+// Design notes (C++ Core Guidelines CP.*):
+//  * No detached threads; the destructor joins everything (RAII).
+//  * parallel_for is a fork-join primitive: it returns only after all
+//    index chunks have completed, so callers never observe torn state.
+//  * The calling thread participates in the work, so a pool of N threads
+//    yields N+1 workers and nesting from a worker falls back to serial
+//    execution instead of deadlocking.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tilesparse {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers.  0 means hardware_concurrency() - 1.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers including the caller of parallel_for.
+  std::size_t worker_count() const noexcept { return workers_.size() + 1; }
+
+  /// Runs body(i) for every i in [begin, end), partitioned into chunks.
+  /// Blocks until all iterations are complete.  Safe to call with
+  /// begin >= end (no-op).  Calls from inside a pool worker run serially.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Chunked variant: body(chunk_begin, chunk_end) per chunk, so the
+  /// callee can amortise per-call overhead over a range.
+  void parallel_for_chunked(
+      std::size_t begin, std::size_t end, std::size_t min_chunk,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Process-wide pool sized to the machine; created on first use.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    std::function<void(std::size_t, std::size_t)> body;
+    std::atomic<std::size_t> next{0};
+    std::size_t end = 0;
+    std::size_t chunk = 1;
+    std::atomic<std::size_t> remaining_chunks{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+
+  void worker_loop();
+  static void drain(Task& task);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  Task* current_ = nullptr;  // guarded by mutex_
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  static thread_local bool inside_worker_;
+};
+
+}  // namespace tilesparse

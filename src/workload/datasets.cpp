@@ -1,0 +1,180 @@
+#include "workload/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace tilesparse {
+
+// ---------------------------------------------------------------- images
+
+ClusterImageDataset::ClusterImageDataset(std::size_t classes,
+                                         std::size_t channels,
+                                         std::size_t height, std::size_t width,
+                                         float noise, std::uint64_t seed)
+    : classes_(classes),
+      channels_(channels),
+      height_(height),
+      width_(width),
+      noise_(noise),
+      prototypes_(classes, channels * height * width) {
+  Rng rng(seed);
+  fill_normal(prototypes_, rng, 0.0f, 1.0f);
+  // Smooth the prototypes spatially so they look image-like (neighbours
+  // correlate), which makes 3x3 convolutions the right inductive bias.
+  for (std::size_t cls = 0; cls < classes_; ++cls) {
+    float* img = prototypes_.data() + cls * feature_count();
+    for (std::size_t ch = 0; ch < channels_; ++ch) {
+      float* plane = img + ch * height_ * width_;
+      for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t r = 0; r < height_; ++r) {
+          for (std::size_t c = 0; c + 1 < width_; ++c) {
+            plane[r * width_ + c] =
+                0.5f * (plane[r * width_ + c] + plane[r * width_ + c + 1]);
+          }
+        }
+        for (std::size_t c = 0; c < width_; ++c) {
+          for (std::size_t r = 0; r + 1 < height_; ++r) {
+            plane[r * width_ + c] =
+                0.5f * (plane[r * width_ + c] + plane[(r + 1) * width_ + c]);
+          }
+        }
+      }
+    }
+  }
+}
+
+ClassificationBatch ClusterImageDataset::sample(std::size_t batch,
+                                                Rng& rng) const {
+  ClassificationBatch out;
+  out.x = MatrixF(batch, feature_count());
+  out.y.resize(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const auto cls = static_cast<std::size_t>(rng.below(classes_));
+    out.y[i] = static_cast<int>(cls);
+    const float* proto = prototypes_.data() + cls * feature_count();
+    float* x = out.x.data() + i * feature_count();
+    const float brightness = rng.normal(0.0f, 0.2f);
+    for (std::size_t f = 0; f < feature_count(); ++f) {
+      x[f] = proto[f] + brightness + rng.normal(0.0f, noise_);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- tokens
+
+TokenTeacherDataset::TokenTeacherDataset(std::size_t vocab, std::size_t seq,
+                                         std::size_t classes,
+                                         std::size_t embed_dim,
+                                         std::uint64_t seed)
+    : vocab_(vocab),
+      seq_(seq),
+      classes_(classes),
+      embed_dim_(embed_dim),
+      embedding_(vocab, embed_dim),
+      teacher_w1_(embed_dim, 2 * embed_dim),
+      teacher_w2_(2 * embed_dim, classes) {
+  Rng rng(seed);
+  fill_normal(embedding_, rng, 0.0f, 1.0f);
+  fill_kaiming(teacher_w1_, rng);
+  fill_kaiming(teacher_w2_, rng);
+}
+
+int TokenTeacherDataset::teacher_label(const int* tokens) const {
+  // Mean embedding -> tanh hidden -> argmax logits.
+  std::vector<float> pooled(embed_dim_, 0.0f);
+  for (std::size_t t = 0; t < seq_; ++t) {
+    const float* e = embedding_.data() +
+                     static_cast<std::size_t>(tokens[t]) * embed_dim_;
+    for (std::size_t d = 0; d < embed_dim_; ++d) pooled[d] += e[d];
+  }
+  for (float& v : pooled) v /= static_cast<float>(seq_);
+
+  const std::size_t hidden = teacher_w1_.cols();
+  std::vector<float> h(hidden, 0.0f);
+  for (std::size_t d = 0; d < embed_dim_; ++d) {
+    const float pd = pooled[d];
+    const float* w = teacher_w1_.data() + d * hidden;
+    for (std::size_t j = 0; j < hidden; ++j) h[j] += pd * w[j];
+  }
+  for (float& v : h) v = std::tanh(v);
+
+  std::vector<float> logits(classes_, 0.0f);
+  for (std::size_t j = 0; j < hidden; ++j) {
+    const float hj = h[j];
+    const float* w = teacher_w2_.data() + j * classes_;
+    for (std::size_t c = 0; c < classes_; ++c) logits[c] += hj * w[c];
+  }
+  return static_cast<int>(std::max_element(logits.begin(), logits.end()) -
+                          logits.begin());
+}
+
+TokenBatch TokenTeacherDataset::sample(std::size_t batch, Rng& rng) const {
+  TokenBatch out;
+  out.batch = batch;
+  out.seq = seq_;
+  out.tokens.resize(batch * seq_);
+  out.y.resize(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    int* row = out.tokens.data() + i * seq_;
+    for (std::size_t t = 0; t < seq_; ++t)
+      row[t] = static_cast<int>(rng.below(vocab_));
+    out.y[i] = teacher_label(row);
+  }
+  return out;
+}
+
+SpanDataset::SpanDataset(std::size_t vocab, std::size_t seq,
+                         std::size_t embed_dim, std::uint64_t seed)
+    : vocab_(vocab), seq_(seq), embed_dim_(embed_dim),
+      query_token_(0), embedding_(vocab, embed_dim) {
+  Rng rng(seed);
+  fill_normal(embedding_, rng, 0.0f, 1.0f);
+}
+
+TokenBatch SpanDataset::sample(std::size_t batch, Rng& rng) const {
+  TokenBatch out;
+  out.batch = batch;
+  out.seq = seq_;
+  out.tokens.resize(batch * seq_);
+  out.y.resize(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    int* row = out.tokens.data() + i * seq_;
+    for (std::size_t t = 0; t < seq_; ++t) {
+      // Avoid accidental query tokens in the background text.
+      row[t] = 1 + static_cast<int>(rng.below(vocab_ - 1));
+    }
+    const auto pos = static_cast<std::size_t>(rng.below(seq_));
+    row[pos] = query_token_;
+    out.y[i] = static_cast<int>(pos);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- seq2seq
+
+ReverseDataset::ReverseDataset(std::size_t vocab, std::size_t seq,
+                               std::uint64_t seed)
+    : vocab_(vocab), seq_(seq) {
+  (void)seed;
+}
+
+Seq2SeqBatch ReverseDataset::sample(std::size_t batch, Rng& rng) const {
+  Seq2SeqBatch out;
+  out.batch = batch;
+  out.seq = seq_;
+  out.src.resize(batch * seq_);
+  out.tgt.resize(batch * seq_);
+  for (std::size_t i = 0; i < batch; ++i) {
+    int* src = out.src.data() + i * seq_;
+    int* tgt = out.tgt.data() + i * seq_;
+    for (std::size_t t = 0; t < seq_; ++t)
+      src[t] = static_cast<int>(rng.below(vocab_));
+    for (std::size_t t = 0; t < seq_; ++t) tgt[t] = src[seq_ - 1 - t];
+  }
+  return out;
+}
+
+}  // namespace tilesparse

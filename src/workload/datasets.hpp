@@ -1,0 +1,123 @@
+#pragma once
+// Synthetic dataset generators — the substitution for ImageNet / MNLI /
+// SQuAD / IWSLT (see DESIGN.md).  Each task is learnable but requires a
+// moderately over-parameterised model, so pruning-versus-accuracy curves
+// have the same qualitative structure the paper reports: redundancy at
+// low sparsity, pattern-dependent degradation at high sparsity.
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace tilesparse {
+
+/// Dense-feature classification batch.
+struct ClassificationBatch {
+  MatrixF x;             ///< batch x features
+  std::vector<int> y;    ///< batch labels
+};
+
+/// Token-sequence classification batch.
+struct TokenBatch {
+  std::vector<int> tokens;  ///< batch * seq token ids, row-major
+  std::vector<int> y;       ///< batch labels
+  std::size_t batch = 0;
+  std::size_t seq = 0;
+};
+
+/// Sequence-to-sequence batch (tokens in, tokens out).
+struct Seq2SeqBatch {
+  std::vector<int> src;  ///< batch * seq
+  std::vector<int> tgt;  ///< batch * seq
+  std::size_t batch = 0;
+  std::size_t seq = 0;
+};
+
+/// ImageNet proxy: Gaussian class prototypes in image space (C x H x W),
+/// heavy per-sample noise plus random brightness/shift distortion.
+class ClusterImageDataset {
+ public:
+  ClusterImageDataset(std::size_t classes, std::size_t channels,
+                      std::size_t height, std::size_t width, float noise,
+                      std::uint64_t seed);
+
+  std::size_t feature_count() const noexcept {
+    return channels_ * height_ * width_;
+  }
+  std::size_t classes() const noexcept { return classes_; }
+  std::size_t channels() const noexcept { return channels_; }
+  std::size_t height() const noexcept { return height_; }
+  std::size_t width() const noexcept { return width_; }
+
+  /// Draws a fresh batch (infinite stream; train/test split by seed).
+  ClassificationBatch sample(std::size_t batch, Rng& rng) const;
+
+ private:
+  std::size_t classes_, channels_, height_, width_;
+  float noise_;
+  MatrixF prototypes_;  ///< classes x features
+};
+
+/// MNLI proxy: the label is produced by a fixed random two-layer teacher
+/// network over the mean embedding of the token sequence.  Embeddings are
+/// shared with the student via `embedding()`.
+class TokenTeacherDataset {
+ public:
+  TokenTeacherDataset(std::size_t vocab, std::size_t seq, std::size_t classes,
+                      std::size_t embed_dim, std::uint64_t seed);
+
+  std::size_t vocab() const noexcept { return vocab_; }
+  std::size_t seq() const noexcept { return seq_; }
+  std::size_t classes() const noexcept { return classes_; }
+  const MatrixF& embedding() const noexcept { return embedding_; }
+
+  TokenBatch sample(std::size_t batch, Rng& rng) const;
+
+ private:
+  int teacher_label(const int* tokens) const;
+
+  std::size_t vocab_, seq_, classes_, embed_dim_;
+  MatrixF embedding_;   ///< vocab x embed_dim (fixed)
+  MatrixF teacher_w1_;  ///< embed_dim x hidden
+  MatrixF teacher_w2_;  ///< hidden x classes
+};
+
+/// SQuAD proxy: answer-position extraction.  A special "query" token is
+/// planted at a random position; the label is that position (so the
+/// output space is the sequence length, as in span prediction).
+class SpanDataset {
+ public:
+  SpanDataset(std::size_t vocab, std::size_t seq, std::size_t embed_dim,
+              std::uint64_t seed);
+
+  std::size_t vocab() const noexcept { return vocab_; }
+  std::size_t seq() const noexcept { return seq_; }
+  std::size_t classes() const noexcept { return seq_; }
+  const MatrixF& embedding() const noexcept { return embedding_; }
+
+  TokenBatch sample(std::size_t batch, Rng& rng) const;
+
+ private:
+  std::size_t vocab_, seq_, embed_dim_;
+  int query_token_;
+  MatrixF embedding_;
+};
+
+/// IWSLT proxy: translate = reverse the source token sequence (requires
+/// real sequence memory from the LSTM, unlike copy).
+class ReverseDataset {
+ public:
+  ReverseDataset(std::size_t vocab, std::size_t seq, std::uint64_t seed);
+
+  std::size_t vocab() const noexcept { return vocab_; }
+  std::size_t seq() const noexcept { return seq_; }
+
+  Seq2SeqBatch sample(std::size_t batch, Rng& rng) const;
+
+ private:
+  std::size_t vocab_, seq_;
+};
+
+}  // namespace tilesparse

@@ -1,0 +1,131 @@
+#include "workload/model_ops.hpp"
+
+namespace tilesparse {
+namespace {
+
+constexpr double kFp16 = 2.0;
+
+E2eOp gemm_op(const GemmShape& shape, const TilePattern* pattern) {
+  E2eOp op;
+  op.kind = E2eOp::Kind::kGemm;
+  op.shape = shape;
+  op.pattern = pattern;
+  return op;
+}
+
+E2eOp fixed_gemm_op(const GemmShape& shape) {
+  E2eOp op;
+  op.kind = E2eOp::Kind::kGemmFixed;
+  op.shape = shape;
+  return op;
+}
+
+E2eOp ew_op(double bytes, bool fusable = true) {
+  E2eOp op;
+  op.kind = E2eOp::Kind::kElementwise;
+  op.bytes = bytes;
+  op.fusable = fusable;
+  return op;
+}
+
+E2eOp transpose_op(double bytes) {
+  E2eOp op;
+  op.kind = E2eOp::Kind::kTranspose;
+  op.bytes = bytes;
+  return op;
+}
+
+}  // namespace
+
+std::vector<E2eOp> build_bert_ops(
+    std::size_t seq, std::size_t batch,
+    const std::vector<const TilePattern*>* patterns) {
+  constexpr std::size_t kHidden = 768;
+  constexpr std::size_t kFfn = 3072;
+  constexpr std::size_t kLayers = 12;
+  const std::size_t m = seq * batch;
+  const double hid_bytes = static_cast<double>(m) * kHidden * kFp16;
+  const double ffn_bytes = static_cast<double>(m) * kFfn * kFp16;
+  const double attn_bytes =
+      static_cast<double>(m) * static_cast<double>(seq) * kFp16;
+
+  auto pat = [&](std::size_t index) -> const TilePattern* {
+    return patterns ? (*patterns)[index] : nullptr;
+  };
+
+  std::vector<E2eOp> ops;
+  std::size_t w = 0;  // weight GEMM index into bert_base_gemms order
+  for (std::size_t layer = 0; layer < kLayers; ++layer) {
+    // The TW transposed layout needs A transposed entering the layer;
+    // with the optimization this folds into the adjacent fused kernels
+    // for all but the first layer (paper Sec. VI, Kernel Fusion).
+    ops.push_back(transpose_op(hid_bytes));
+
+    // Self-attention: Q, K, V projections + bias each, then the
+    // head-split permute (a real kernel in BERT implementations).
+    for (int i = 0; i < 3; ++i) {
+      ops.push_back(gemm_op({m, kHidden, kHidden}, pat(w++)));
+      ops.push_back(ew_op(hid_bytes));
+    }
+    ops.push_back(ew_op(hid_bytes, /*fusable=*/false));  // head permute
+    // Scores QK^T (all heads batched), mask-add + softmax + dropout,
+    // context PV, merge-heads permute.
+    ops.push_back(fixed_gemm_op({m, seq, kHidden}));
+    ops.push_back(ew_op(attn_bytes, /*fusable=*/false));  // softmax
+    ops.push_back(ew_op(attn_bytes));                     // attention dropout
+    ops.push_back(fixed_gemm_op({m, kHidden, seq}));
+    ops.push_back(ew_op(hid_bytes, /*fusable=*/false));  // merge-heads permute
+    // Output projection + bias + residual + LayerNorm.
+    ops.push_back(gemm_op({m, kHidden, kHidden}, pat(w++)));
+    ops.push_back(ew_op(hid_bytes));
+    ops.push_back(ew_op(hid_bytes));
+    ops.push_back(ew_op(hid_bytes));
+    // FFN: in-projection + bias + GELU, out-projection + bias + residual
+    // + LayerNorm.
+    ops.push_back(gemm_op({m, kFfn, kHidden}, pat(w++)));
+    ops.push_back(ew_op(ffn_bytes));
+    ops.push_back(ew_op(ffn_bytes));
+    ops.push_back(gemm_op({m, kHidden, kFfn}, pat(w++)));
+    ops.push_back(ew_op(hid_bytes));
+    ops.push_back(ew_op(hid_bytes));
+    ops.push_back(ew_op(hid_bytes));
+  }
+  return ops;
+}
+
+std::vector<E2eOp> build_nmt_ops(
+    std::size_t seq, std::size_t batch,
+    const std::vector<const TilePattern*>* patterns) {
+  constexpr std::size_t kHidden = 512;
+  constexpr std::size_t kGates = 4 * kHidden;
+  const std::size_t m = seq * batch;
+  const double hid_bytes = static_cast<double>(m) * kHidden * kFp16;
+  const double gate_bytes = static_cast<double>(m) * kGates * kFp16;
+
+  auto pat = [&](std::size_t index) -> const TilePattern* {
+    return patterns ? (*patterns)[index] : nullptr;
+  };
+
+  std::vector<E2eOp> ops;
+  std::size_t w = 0;
+  for (int side = 0; side < 2; ++side) {
+    for (int layer = 0; layer < 2; ++layer) {
+      ops.push_back(transpose_op(hid_bytes));
+      ops.push_back(gemm_op({m, kGates, kHidden}, pat(w++)));
+      ops.push_back(gemm_op({m, kGates, kHidden}, pat(w++)));
+      // Gate nonlinearities (sigmoid x3, tanh) + cell update + output.
+      ops.push_back(ew_op(gate_bytes));
+      ops.push_back(ew_op(gate_bytes));
+      ops.push_back(ew_op(hid_bytes));
+      ops.push_back(ew_op(hid_bytes, /*fusable=*/false));
+    }
+  }
+  // Attention context + output projection + softmax.
+  ops.push_back(gemm_op({m, kHidden, 2 * kHidden}, pat(w++)));
+  ops.push_back(ew_op(hid_bytes));
+  ops.push_back(gemm_op({m, 2048, kHidden}, pat(w++)));
+  ops.push_back(ew_op(static_cast<double>(m) * 2048 * kFp16, /*fusable=*/false));
+  return ops;
+}
+
+}  // namespace tilesparse

@@ -1,0 +1,27 @@
+#pragma once
+// Builders of end-to-end op timelines (GEMM + non-GEMM kernels) for the
+// BERT and NMT forward passes, consumed by sim/e2e_model.  VGG is
+// omitted from the e2e experiment exactly as in the paper ("only
+// includes 5% non-GEMM computations", Sec. VII-D).
+
+#include <vector>
+
+#include "core/tile_pattern.hpp"
+#include "sim/e2e_model.hpp"
+
+namespace tilesparse {
+
+/// Op timeline for a BERT-base forward pass.  `patterns`, when non-null,
+/// must hold one TilePattern per weight GEMM in bert_base_gemms() order
+/// (72 entries) and must outlive the returned ops.
+std::vector<E2eOp> build_bert_ops(
+    std::size_t seq, std::size_t batch,
+    const std::vector<const TilePattern*>* patterns = nullptr);
+
+/// Op timeline for the NMT encoder-decoder forward pass; `patterns`
+/// follows nmt_gemms() order (10 entries).
+std::vector<E2eOp> build_nmt_ops(
+    std::size_t seq, std::size_t batch,
+    const std::vector<const TilePattern*>* patterns = nullptr);
+
+}  // namespace tilesparse

@@ -1,0 +1,77 @@
+#include "workload/shapes.hpp"
+
+namespace tilesparse {
+
+std::vector<LayerGemm> bert_base_gemms(std::size_t seq, std::size_t batch) {
+  const std::size_t m = seq * batch;
+  constexpr std::size_t kHidden = 768;
+  constexpr std::size_t kFfn = 3072;
+  constexpr std::size_t kLayers = 12;
+  std::vector<LayerGemm> gemms;
+  for (std::size_t layer = 0; layer < kLayers; ++layer) {
+    const std::string p = "L" + std::to_string(layer) + ".";
+    gemms.push_back({p + "attn.q", {m, kHidden, kHidden}, 1});
+    gemms.push_back({p + "attn.k", {m, kHidden, kHidden}, 1});
+    gemms.push_back({p + "attn.v", {m, kHidden, kHidden}, 1});
+    gemms.push_back({p + "attn.out", {m, kHidden, kHidden}, 1});
+    gemms.push_back({p + "ffn.in", {m, kFfn, kHidden}, 1});
+    gemms.push_back({p + "ffn.out", {m, kHidden, kFfn}, 1});
+  }
+  return gemms;
+}
+
+std::vector<LayerGemm> vgg16_gemms(std::size_t batch) {
+  // {name, out_h*out_w, C_out, C_in*9}; input 224x224, pools halve.
+  struct Conv {
+    const char* name;
+    std::size_t spatial, c_out, c_in;
+  };
+  static constexpr Conv kConvs[] = {
+      {"conv1_1", 224 * 224, 64, 3},    {"conv1_2", 224 * 224, 64, 64},
+      {"conv2_1", 112 * 112, 128, 64},  {"conv2_2", 112 * 112, 128, 128},
+      {"conv3_1", 56 * 56, 256, 128},   {"conv3_2", 56 * 56, 256, 256},
+      {"conv3_3", 56 * 56, 256, 256},   {"conv4_1", 28 * 28, 512, 256},
+      {"conv4_2", 28 * 28, 512, 512},   {"conv4_3", 28 * 28, 512, 512},
+      {"conv5_1", 14 * 14, 512, 512},   {"conv5_2", 14 * 14, 512, 512},
+      {"conv5_3", 14 * 14, 512, 512},
+  };
+  std::vector<LayerGemm> gemms;
+  for (const auto& conv : kConvs) {
+    // im2col: M = batch * out pixels, K = C_in * 3 * 3, N = C_out.
+    gemms.push_back(
+        {conv.name, {batch * conv.spatial, conv.c_out, conv.c_in * 9}, 1});
+  }
+  gemms.push_back({"fc6", {batch, 4096, 512 * 7 * 7}, 1});
+  gemms.push_back({"fc7", {batch, 4096, 4096}, 1});
+  gemms.push_back({"fc8", {batch, 1000, 4096}, 1});
+  return gemms;
+}
+
+std::vector<LayerGemm> nmt_gemms(std::size_t seq, std::size_t batch) {
+  constexpr std::size_t kHidden = 512;
+  constexpr std::size_t kGates = 4 * kHidden;
+  const std::size_t m = seq * batch;
+  std::vector<LayerGemm> gemms;
+  // Encoder and decoder, 2 LSTM layers each: input + recurrent GEMMs.
+  for (const char* side : {"enc", "dec"}) {
+    for (int layer = 0; layer < 2; ++layer) {
+      const std::string p =
+          std::string(side) + std::to_string(layer) + ".";
+      gemms.push_back({p + "input", {m, kGates, kHidden}, 1});
+      gemms.push_back({p + "recurrent", {m, kGates, kHidden}, 1});
+    }
+  }
+  // Attention context projection + output projection to vocab-ish dim.
+  gemms.push_back({"attn.proj", {m, kHidden, 2 * kHidden}, 1});
+  gemms.push_back({"out.proj", {m, 2048, kHidden}, 1});
+  return gemms;
+}
+
+double total_flops(const std::vector<LayerGemm>& gemms) {
+  double total = 0.0;
+  for (const auto& g : gemms)
+    total += g.shape.flops() * static_cast<double>(g.repeat);
+  return total;
+}
+
+}  // namespace tilesparse

@@ -1,0 +1,41 @@
+#pragma once
+// The weight-GEMM shapes of the paper's three benchmark models
+// (Sec. VII-A).  These drive every latency experiment: we do not need
+// trained ImageNet/MNLI weights to evaluate execution time, only the
+// exact matrix dimensions the models multiply.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/device_model.hpp"
+
+namespace tilesparse {
+
+/// One prunable weight GEMM: activations (M x K) times weights (K x N).
+struct LayerGemm {
+  std::string name;
+  GemmShape shape;  ///< m = activation rows, k/n = weight shape
+  std::size_t repeat = 1;  ///< identical layers sharing this shape
+};
+
+/// BERT-base encoder (12 layers, hidden 768, FFN 3072) at the given
+/// sequence length x batch (M = seq * batch).  6 weight GEMMs per layer:
+/// Q, K, V, attention-output, FFN-in, FFN-out -> 72 weight matrices,
+/// matching the x-axis of paper Fig. 5.
+std::vector<LayerGemm> bert_base_gemms(std::size_t seq = 128,
+                                       std::size_t batch = 1);
+
+/// VGG-16 convolutional + FC layers lowered with im2col at 224x224 input:
+/// M = output pixels, K = C_in * 3 * 3, N = C_out.
+std::vector<LayerGemm> vgg16_gemms(std::size_t batch = 1);
+
+/// 2-layer LSTM encoder-decoder NMT (hidden 512): gate GEMMs have
+/// N = 4 * hidden; input and recurrent GEMMs per layer, M = batch tokens
+/// per step times steps.
+std::vector<LayerGemm> nmt_gemms(std::size_t seq = 32, std::size_t batch = 32);
+
+/// Sum of dense FLOPs over a shape set.
+double total_flops(const std::vector<LayerGemm>& gemms);
+
+}  // namespace tilesparse

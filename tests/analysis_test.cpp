@@ -1,0 +1,95 @@
+// Characterisation-level properties behind the paper's motivation
+// figures: uneven per-matrix sparsity under global EW (Fig. 5) and the
+// zero-capture advantage of TW row-vectors over BW blocks (Fig. 6).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "prune/analysis.hpp"
+#include "prune/patterns.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace tilesparse {
+namespace {
+
+/// Layer-like score matrices with different magnitudes (as real DNN
+/// layers have) so global EW produces uneven sparsity.
+std::vector<MatrixF> layered_scores(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<MatrixF> scores;
+  for (std::size_t i = 0; i < count; ++i) {
+    MatrixF m(64, 64);
+    const float scale = 0.5f + 1.5f * static_cast<float>(i) /
+                                   static_cast<float>(count);
+    for (float& v : m.flat()) v = std::fabs(rng.normal(0.0f, scale));
+    scores.push_back(std::move(m));
+  }
+  return scores;
+}
+
+TEST(Fig5Property, GlobalEwSparsityIsUnevenAcrossMatrices) {
+  const auto scores = layered_scores(12, 1);
+  std::vector<const MatrixF*> ptrs;
+  for (const auto& s : scores) ptrs.push_back(&s);
+  const auto masks = ew_mask_global(ptrs, 0.75);
+  const auto sparsities = mask_sparsities(masks);
+
+  double lo = 1.0, hi = 0.0, sum = 0.0;
+  for (double s : sparsities) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+    sum += s;
+  }
+  // Average hits the target but the spread is wide (the paper reports
+  // 0.5 .. 1.0 per-matrix sparsity at a 75% global target).
+  EXPECT_NEAR(sum / sparsities.size(), 0.75, 0.03);
+  EXPECT_GT(hi - lo, 0.2);
+}
+
+TEST(Fig6Property, TwRowVectorsCaptureMoreFullZeroUnitsThanBwBlocks) {
+  // EW-pruned mask at 75%: count units that are *fully* zero — those are
+  // the prunable-without-loss units for each pattern.
+  Rng rng(2);
+  MatrixF scores(256, 256);
+  for (float& v : scores.flat()) v = std::fabs(rng.normal());
+  // Inject the structure trained nets have: some columns (output
+  // neurons) and some rows (dead input features) are globally weak.
+  for (std::size_t c = 0; c < 256; c += 7)
+    for (std::size_t r = 0; r < 256; ++r) scores(r, c) *= 0.05f;
+  for (std::size_t r = 0; r < 256; r += 9)
+    for (std::size_t c = 0; c < 256; ++c) scores(r, c) *= 0.05f;
+  const MatrixU8 mask = ew_mask(scores, 0.75);
+
+  const auto tw_units = unit_zero_fractions(mask, 1, 64);
+  const auto bw8 = unit_zero_fractions(mask, 8, 8);
+  const auto bw32 = unit_zero_fractions(mask, 32, 32);
+
+  auto full_zero_fraction = [](const std::vector<float>& units) {
+    const auto full = std::count_if(units.begin(), units.end(),
+                                    [](float f) { return f >= 1.0f; });
+    return static_cast<double>(full) / static_cast<double>(units.size());
+  };
+  // TW(1x64) units go fully-zero more often than same-size BW(8x8)
+  // blocks, and far more often than BW(32x32).
+  EXPECT_GE(full_zero_fraction(tw_units), full_zero_fraction(bw8));
+  EXPECT_GT(full_zero_fraction(tw_units), full_zero_fraction(bw32));
+}
+
+TEST(Fig6Property, CdfGridIsMonotone) {
+  Rng rng(3);
+  MatrixF scores(128, 128);
+  for (float& v : scores.flat()) v = std::fabs(rng.normal());
+  const MatrixU8 mask = ew_mask(scores, 0.75);
+  const auto units = unit_zero_fractions(mask, 8, 8);
+  std::vector<float> grid;
+  for (float g = 0.5f; g <= 1.0f; g += 0.05f) grid.push_back(g);
+  const auto cdf = empirical_cdf(units, grid);
+  for (std::size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+  EXPECT_NEAR(cdf.back(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tilesparse

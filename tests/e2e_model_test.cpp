@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "prune/tw_pruner.hpp"
+#include "sim/e2e_model.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+#include "workload/model_ops.hpp"
+#include "workload/shapes.hpp"
+
+namespace tilesparse {
+namespace {
+
+const DeviceModel kDev = DeviceModel::v100();
+
+std::vector<TilePattern> bert_patterns(double sparsity) {
+  Rng rng(1);
+  std::vector<TilePattern> patterns;
+  for (const auto& gemm : bert_base_gemms()) {
+    MatrixF scores(gemm.shape.k, gemm.shape.n);
+    fill_uniform(scores, rng, 0.01f, 1.0f);
+    patterns.push_back(tw_pattern_from_scores(scores, sparsity, 128));
+  }
+  return patterns;
+}
+
+TEST(E2eModel, DenseBertHasSubstantialNonGemmShare) {
+  const auto ops = build_bert_ops(128, 1);
+  E2eOptions options;
+  options.use_tw = false;
+  options.fusion = false;
+  const auto breakdown = e2e_latency(kDev, ops, options);
+  const double other_share = breakdown.other_s / breakdown.total();
+  // Paper: ~39% non-GEMM before fusion.
+  EXPECT_GT(other_share, 0.25);
+  EXPECT_LT(other_share, 0.55);
+}
+
+TEST(E2eModel, FusionReducesNonGemmShare) {
+  const auto ops = build_bert_ops(128, 1);
+  E2eOptions unfused, fused;
+  unfused.use_tw = fused.use_tw = false;
+  unfused.fusion = false;
+  const auto before = e2e_latency(kDev, ops, unfused);
+  const auto after = e2e_latency(kDev, ops, fused);
+  EXPECT_LT(after.other_s, before.other_s);
+  EXPECT_DOUBLE_EQ(after.gemm_s, before.gemm_s);
+}
+
+TEST(E2eModel, TransposeOptRemovesSteadyStateTransposes) {
+  const auto patterns = bert_patterns(0.75);
+  std::vector<const TilePattern*> ptrs;
+  for (const auto& p : patterns) ptrs.push_back(&p);
+  const auto ops = build_bert_ops(128, 1, &ptrs);
+
+  E2eOptions with, without;
+  without.transpose_opt = false;
+  const auto opt = e2e_latency(kDev, ops, with);
+  const auto naive = e2e_latency(kDev, ops, without);
+  EXPECT_LT(opt.transpose_s, naive.transpose_s);
+  EXPECT_GT(naive.transpose_s, 0.0);
+}
+
+TEST(E2eModel, TwSparsityDeliversEndToEndSpeedup) {
+  // Paper Fig. 15: ~1.61x end-to-end for BERT at 75% (GEMM-only 2.26x).
+  const auto patterns = bert_patterns(0.75);
+  std::vector<const TilePattern*> ptrs;
+  for (const auto& p : patterns) ptrs.push_back(&p);
+  const auto sparse_ops = build_bert_ops(128, 1, &ptrs);
+  const auto dense_ops = build_bert_ops(128, 1);
+
+  E2eOptions dense_opt;
+  dense_opt.use_tw = false;
+  E2eOptions tw_opt;
+  const double dense_time = e2e_latency(kDev, dense_ops, dense_opt).total();
+  const double tw_time = e2e_latency(kDev, sparse_ops, tw_opt).total();
+  const double e2e_speedup = dense_time / tw_time;
+  EXPECT_GT(e2e_speedup, 1.2);
+  EXPECT_LT(e2e_speedup, 2.6);
+}
+
+TEST(E2eModel, NmtOpsBuildAndRun) {
+  const auto ops = build_nmt_ops(32, 32);
+  E2eOptions options;
+  options.use_tw = false;
+  const auto breakdown = e2e_latency(kDev, ops, options);
+  EXPECT_GT(breakdown.gemm_s, 0.0);
+  EXPECT_GT(breakdown.other_s, 0.0);
+}
+
+TEST(E2eModel, GemmOnlySpeedupExceedsEndToEnd) {
+  // Amdahl: the non-GEMM share dilutes the GEMM speedup.
+  const auto patterns = bert_patterns(0.75);
+  std::vector<const TilePattern*> ptrs;
+  for (const auto& p : patterns) ptrs.push_back(&p);
+  const auto sparse_ops = build_bert_ops(128, 1, &ptrs);
+  const auto dense_ops = build_bert_ops(128, 1);
+
+  E2eOptions dense_opt;
+  dense_opt.use_tw = false;
+  E2eOptions tw_opt;
+  const auto dense_breakdown = e2e_latency(kDev, dense_ops, dense_opt);
+  const auto tw_breakdown = e2e_latency(kDev, sparse_ops, tw_opt);
+  const double gemm_speedup = dense_breakdown.gemm_s / tw_breakdown.gemm_s;
+  const double e2e_speedup = dense_breakdown.total() / tw_breakdown.total();
+  EXPECT_GT(gemm_speedup, e2e_speedup);
+}
+
+}  // namespace
+}  // namespace tilesparse

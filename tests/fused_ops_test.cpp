@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gemm/fused_ops.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace tilesparse {
+namespace {
+
+MatrixF random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  MatrixF m(rows, cols);
+  fill_normal(m, rng);
+  return m;
+}
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = rng.normal();
+  return v;
+}
+
+TEST(FusedOps, AddBiasAddsPerColumn) {
+  MatrixF x(3, 4);
+  const auto bias = random_vec(4, 1);
+  add_bias(x, bias);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_FLOAT_EQ(x(r, c), bias[c]);
+}
+
+TEST(FusedOps, LayerNormRowsHaveZeroMeanUnitVar) {
+  MatrixF x = random_matrix(8, 64, 2);
+  std::vector<float> gamma(64, 1.0f), beta(64, 0.0f);
+  layer_norm(x, gamma, beta);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t c = 0; c < x.cols(); ++c) mean += x(r, c);
+    mean /= x.cols();
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const double d = x(r, c) - mean;
+      var += d * d;
+    }
+    var /= x.cols();
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(FusedOps, FusedBiasLayerNormMatchesSeparate) {
+  MatrixF a = random_matrix(6, 32, 3);
+  MatrixF b = a;
+  const auto bias = random_vec(32, 4);
+  const auto gamma = random_vec(32, 5);
+  const auto beta = random_vec(32, 6);
+  add_bias(a, bias);
+  layer_norm(a, gamma, beta);
+  fused_bias_layer_norm(b, bias, gamma, beta);
+  EXPECT_LT(max_abs_diff(a, b), 1e-5f);
+}
+
+TEST(FusedOps, FusedBiasGeluMatchesSeparate) {
+  MatrixF a = random_matrix(5, 16, 7);
+  MatrixF b = a;
+  const auto bias = random_vec(16, 8);
+  add_bias(a, bias);
+  gelu(a);
+  fused_bias_gelu(b, bias);
+  EXPECT_LT(max_abs_diff(a, b), 1e-5f);
+}
+
+TEST(FusedOps, GeluKnownValues) {
+  MatrixF x(1, 3);
+  x(0, 0) = 0.0f;
+  x(0, 1) = 100.0f;   // saturates to identity
+  x(0, 2) = -100.0f;  // saturates to zero
+  gelu(x);
+  EXPECT_FLOAT_EQ(x(0, 0), 0.0f);
+  EXPECT_NEAR(x(0, 1), 100.0f, 1e-3f);
+  EXPECT_NEAR(x(0, 2), 0.0f, 1e-3f);
+}
+
+TEST(FusedOps, ReluClampsNegatives) {
+  MatrixF x(1, 2);
+  x(0, 0) = -1.0f;
+  x(0, 1) = 2.0f;
+  relu(x);
+  EXPECT_EQ(x(0, 0), 0.0f);
+  EXPECT_EQ(x(0, 1), 2.0f);
+}
+
+TEST(FusedOps, SoftmaxRowsSumToOne) {
+  MatrixF x = random_matrix(7, 13, 9);
+  softmax_rows(x);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      EXPECT_GT(x(r, c), 0.0f);
+      sum += x(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(FusedOps, SoftmaxNumericallyStableForLargeInputs) {
+  MatrixF x(1, 3);
+  x(0, 0) = 1000.0f;
+  x(0, 1) = 1000.0f;
+  x(0, 2) = -1000.0f;
+  softmax_rows(x);
+  EXPECT_NEAR(x(0, 0), 0.5f, 1e-5f);
+  EXPECT_FALSE(std::isnan(x(0, 2)));
+}
+
+}  // namespace
+}  // namespace tilesparse

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/half.hpp"
+
+namespace tilesparse {
+namespace {
+
+TEST(Half, ExactSmallIntegers) {
+  for (float v : {0.0f, 1.0f, -1.0f, 2.0f, 1024.0f, -2048.0f}) {
+    EXPECT_EQ(round_to_half(v), v) << v;
+  }
+}
+
+TEST(Half, SignedZeroPreserved) {
+  EXPECT_EQ(float_to_half_bits(0.0f), 0x0000);
+  EXPECT_EQ(float_to_half_bits(-0.0f), 0x8000);
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(float_to_half_bits(1.0f), 0x3c00);
+  EXPECT_EQ(float_to_half_bits(-2.0f), 0xc000);
+  EXPECT_EQ(float_to_half_bits(65504.0f), 0x7bff);  // max finite half
+}
+
+TEST(Half, OverflowGoesToInfinity) {
+  EXPECT_EQ(float_to_half_bits(1e6f), 0x7c00);
+  EXPECT_EQ(float_to_half_bits(-1e6f), 0xfc00);
+  EXPECT_TRUE(std::isinf(half_bits_to_float(0x7c00)));
+}
+
+TEST(Half, NanPropagates) {
+  const auto bits = float_to_half_bits(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(std::isnan(half_bits_to_float(bits)));
+}
+
+TEST(Half, SubnormalsRepresented) {
+  // Smallest positive half subnormal is 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(round_to_half(tiny), tiny);
+  // Half of that rounds to zero or the subnormal (round-to-even -> 0).
+  EXPECT_EQ(round_to_half(std::ldexp(1.0f, -26)), 0.0f);
+}
+
+TEST(Half, RelativeErrorWithinHalfUlp) {
+  // binary16 has 11 significand bits: relative error <= 2^-11.
+  for (float v = 0.001f; v < 1000.0f; v *= 1.37f) {
+    const float r = round_to_half(v);
+    EXPECT_NEAR(r, v, v * 0x1.0p-11f + 1e-8f) << v;
+  }
+}
+
+TEST(Half, RoundTripThroughClassIsIdentity) {
+  for (std::uint32_t bits = 0; bits < 0x10000; bits += 7) {
+    const auto h = half::from_bits(static_cast<std::uint16_t>(bits));
+    const float f = static_cast<float>(h);
+    if (std::isnan(f)) continue;
+    EXPECT_EQ(float_to_half_bits(f), h.bits()) << bits;
+  }
+}
+
+}  // namespace
+}  // namespace tilesparse

@@ -1,0 +1,173 @@
+// Finite-difference gradient checks for every differentiable module.
+// Loss used: L = sum(forward(x) .* R) with a fixed random R, so
+// dL/dy = R and all parameter gradients can be checked numerically.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/attention.hpp"
+#include "nn/conv.hpp"
+#include "nn/layers.hpp"
+#include "nn/lstm.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace tilesparse {
+namespace {
+
+float dot_loss(const MatrixF& y, const MatrixF& r) {
+  float loss = 0.0f;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    loss += y.data()[i] * r.data()[i];
+  return loss;
+}
+
+/// Checks analytic `grad` of `param` against central differences of
+/// `loss_fn` (which must re-run forward using the current param value).
+void check_param_gradient(MatrixF& param, const MatrixF& grad,
+                          const std::function<float()>& loss_fn,
+                          float tolerance, int probes = 24) {
+  Rng rng(99);
+  const float eps = 1e-2f;
+  for (int probe = 0; probe < probes; ++probe) {
+    const auto idx = static_cast<std::size_t>(rng.below(param.size()));
+    const float saved = param.data()[idx];
+    param.data()[idx] = saved + eps;
+    const float up = loss_fn();
+    param.data()[idx] = saved - eps;
+    const float down = loss_fn();
+    param.data()[idx] = saved;
+    const float numeric = (up - down) / (2.0f * eps);
+    EXPECT_NEAR(grad.data()[idx], numeric,
+                tolerance * (1.0f + std::fabs(numeric)))
+        << "index " << idx;
+  }
+}
+
+TEST(GradCheck, LinearWeightBiasAndInput) {
+  Rng rng(1);
+  Linear lin("l", 6, 4, rng);
+  MatrixF x(5, 6), r(5, 4);
+  fill_normal(x, rng);
+  fill_normal(r, rng);
+
+  const MatrixF y = lin.forward(x);
+  const MatrixF dx = lin.backward(r);
+
+  auto loss = [&] { return dot_loss(lin.forward(x), r); };
+  check_param_gradient(lin.weight().value, lin.weight().grad, loss, 2e-2f);
+  check_param_gradient(lin.bias().value, lin.bias().grad, loss, 2e-2f);
+  check_param_gradient(x, dx, loss, 2e-2f);
+}
+
+TEST(GradCheck, GeluInput) {
+  Rng rng(2);
+  Gelu gelu;
+  MatrixF x(4, 8), r(4, 8);
+  fill_normal(x, rng);
+  fill_normal(r, rng);
+  gelu.forward(x);
+  const MatrixF dx = gelu.backward(r);
+  auto loss = [&] { return dot_loss(gelu.forward(x), r); };
+  check_param_gradient(x, dx, loss, 2e-2f);
+}
+
+TEST(GradCheck, LayerNormAll) {
+  Rng rng(3);
+  LayerNorm ln("ln", 12);
+  MatrixF x(3, 12), r(3, 12);
+  fill_normal(x, rng);
+  fill_normal(r, rng);
+  ln.forward(x);
+  const MatrixF dx = ln.backward(r);
+  auto loss = [&] { return dot_loss(ln.forward(x), r); };
+  auto params = ln.params();
+  check_param_gradient(params[0]->value, params[0]->grad, loss, 3e-2f);
+  check_param_gradient(params[1]->value, params[1]->grad, loss, 3e-2f);
+  check_param_gradient(x, dx, loss, 3e-2f);
+}
+
+TEST(GradCheck, Conv3x3WeightAndInput) {
+  Rng rng(4);
+  Conv3x3 conv("c", 2, 3, 4, 4, rng);
+  MatrixF x(2, 2 * 4 * 4), r(2, 3 * 4 * 4);
+  fill_normal(x, rng);
+  fill_normal(r, rng);
+  conv.forward(x);
+  const MatrixF dx = conv.backward(r);
+  auto loss = [&] { return dot_loss(conv.forward(x), r); };
+  auto params = conv.params();
+  check_param_gradient(params[0]->value, params[0]->grad, loss, 3e-2f);
+  check_param_gradient(params[1]->value, params[1]->grad, loss, 3e-2f);
+  check_param_gradient(x, dx, loss, 3e-2f);
+}
+
+TEST(GradCheck, AvgPoolInput) {
+  AvgPool2 pool(2, 4, 4);
+  Rng rng(5);
+  MatrixF x(2, 2 * 4 * 4), r(2, 2 * 2 * 2);
+  fill_normal(x, rng);
+  fill_normal(r, rng);
+  pool.forward(x);
+  const MatrixF dx = pool.backward(r);
+  auto loss = [&] { return dot_loss(pool.forward(x), r); };
+  check_param_gradient(x, dx, loss, 1e-2f);
+}
+
+TEST(GradCheck, MultiHeadAttentionAll) {
+  const std::size_t dim = 8, heads = 2, seq = 3, batch = 2;
+  Rng rng(6);
+  MultiHeadAttention mha("mha", dim, heads, seq, rng);
+  MatrixF x(batch * seq, dim), r(batch * seq, dim);
+  fill_normal(x, rng, 0.0f, 0.5f);
+  fill_normal(r, rng);
+  mha.forward(x);
+  const MatrixF dx = mha.backward(r);
+  auto loss = [&] { return dot_loss(mha.forward(x), r); };
+  for (Param* p : mha.params()) {
+    p->zero_grad();
+  }
+  mha.forward(x);
+  mha.backward(r);
+  for (Param* p : mha.params()) {
+    check_param_gradient(p->value, p->grad, loss, 5e-2f, 8);
+  }
+  check_param_gradient(x, dx, loss, 5e-2f, 12);
+}
+
+TEST(GradCheck, LstmAll) {
+  const std::size_t input = 5, hidden = 4, seq = 3, batch = 2;
+  Rng rng(7);
+  Lstm lstm("lstm", input, hidden, rng);
+  MatrixF x(batch * seq, input), r(batch * seq, hidden);
+  fill_normal(x, rng, 0.0f, 0.5f);
+  fill_normal(r, rng);
+  lstm.forward(x, seq);
+  const MatrixF dx = lstm.backward(r);
+  auto loss = [&] { return dot_loss(lstm.forward(x, seq), r); };
+  for (Param* p : lstm.params()) p->zero_grad();
+  lstm.forward(x, seq);
+  lstm.backward(r);
+  for (Param* p : lstm.params()) {
+    check_param_gradient(p->value, p->grad, loss, 5e-2f, 10);
+  }
+  check_param_gradient(x, dx, loss, 5e-2f, 12);
+}
+
+TEST(GradCheck, EmbeddingTable) {
+  Rng rng(8);
+  Embedding embed("e", 6, 4, rng);
+  const std::vector<int> tokens{1, 4, 1};
+  MatrixF r(3, 4);
+  fill_normal(r, rng);
+  embed.forward(tokens);
+  embed.backward(r);
+  Param* table = embed.params()[0];
+  auto loss = [&] { return dot_loss(embed.forward(tokens), r); };
+  check_param_gradient(table->value, table->grad, loss, 1e-2f);
+}
+
+}  // namespace
+}  // namespace tilesparse

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace tilesparse {
+namespace {
+
+TEST(Linear, ForwardMatchesManual) {
+  Rng rng(1);
+  Linear lin("l", 3, 2, rng);
+  lin.weight().value(0, 0) = 1.0f;
+  lin.weight().value(1, 0) = 2.0f;
+  lin.weight().value(2, 0) = 3.0f;
+  lin.weight().value(0, 1) = -1.0f;
+  lin.weight().value(1, 1) = 0.0f;
+  lin.weight().value(2, 1) = 1.0f;
+  lin.bias().value(0, 0) = 0.5f;
+  lin.bias().value(0, 1) = -0.5f;
+  MatrixF x(1, 3);
+  x(0, 0) = 1.0f;
+  x(0, 1) = 2.0f;
+  x(0, 2) = 3.0f;
+  const MatrixF y = lin.forward(x);
+  EXPECT_FLOAT_EQ(y(0, 0), 1 + 4 + 9 + 0.5f);
+  EXPECT_FLOAT_EQ(y(0, 1), -1 + 0 + 3 - 0.5f);
+}
+
+TEST(ReLULayer, ForwardBackward) {
+  ReLU relu;
+  MatrixF x(1, 3);
+  x(0, 0) = -1.0f;
+  x(0, 1) = 0.0f;
+  x(0, 2) = 2.0f;
+  const MatrixF y = relu.forward(x);
+  EXPECT_EQ(y(0, 0), 0.0f);
+  EXPECT_EQ(y(0, 2), 2.0f);
+  MatrixF dy(1, 3);
+  dy.fill(1.0f);
+  const MatrixF dx = relu.backward(dy);
+  EXPECT_EQ(dx(0, 0), 0.0f);
+  EXPECT_EQ(dx(0, 1), 0.0f);  // gradient at 0 defined as 0
+  EXPECT_EQ(dx(0, 2), 1.0f);
+}
+
+TEST(LayerNormLayer, NormalisesRows) {
+  Rng rng(2);
+  LayerNorm ln("ln", 32);
+  MatrixF x(4, 32);
+  fill_normal(x, rng, 5.0f, 3.0f);
+  const MatrixF y = ln.forward(x);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    double mean = 0.0;
+    for (std::size_t c = 0; c < y.cols(); ++c) mean += y(r, c);
+    EXPECT_NEAR(mean / y.cols(), 0.0, 1e-4);
+  }
+}
+
+TEST(EmbeddingLayer, LooksUpRows) {
+  Rng rng(3);
+  Embedding embed("e", 10, 4, rng);
+  const MatrixF y = embed.forward({3, 7, 3});
+  EXPECT_EQ(y.rows(), 3u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(y(0, c), y(2, c));  // same token -> same row
+  }
+}
+
+TEST(EmbeddingLayer, BackwardAccumulatesDuplicates) {
+  Rng rng(4);
+  Embedding embed("e", 5, 2, rng);
+  embed.forward({1, 1});
+  MatrixF dy(2, 2);
+  dy.fill(1.0f);
+  embed.backward(dy);
+  EXPECT_FLOAT_EQ(embed.params()[0]->grad(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(embed.params()[0]->grad(0, 0), 0.0f);
+}
+
+TEST(EmbeddingLayer, NonTrainableExposesNoParams) {
+  MatrixF table(4, 3);
+  Embedding embed("e", table, /*trainable=*/false);
+  EXPECT_TRUE(embed.params().empty());
+}
+
+TEST(MeanPool, PoolsGroupsOfRows) {
+  MeanPoolRows pool(2);
+  MatrixF x(4, 1);
+  x(0, 0) = 1.0f;
+  x(1, 0) = 3.0f;
+  x(2, 0) = 5.0f;
+  x(3, 0) = 7.0f;
+  const MatrixF y = pool.forward(x);
+  ASSERT_EQ(y.rows(), 2u);
+  EXPECT_FLOAT_EQ(y(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(y(1, 0), 6.0f);
+  MatrixF dy(2, 1);
+  dy(0, 0) = 2.0f;
+  dy(1, 0) = 4.0f;
+  const MatrixF dx = pool.backward(dy);
+  EXPECT_FLOAT_EQ(dx(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(dx(3, 0), 2.0f);
+}
+
+TEST(Loss, CrossEntropyPerfectPredictionNearZero) {
+  MatrixF logits(1, 3);
+  logits(0, 1) = 100.0f;
+  MatrixF dlogits;
+  const float loss = softmax_cross_entropy(logits, {1}, dlogits);
+  EXPECT_NEAR(loss, 0.0f, 1e-4f);
+}
+
+TEST(Loss, CrossEntropyUniformIsLogC) {
+  MatrixF logits(1, 4);  // all zeros -> uniform
+  MatrixF dlogits;
+  const float loss = softmax_cross_entropy(logits, {2}, dlogits);
+  EXPECT_NEAR(loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(Loss, GradientSumsToZeroPerRow) {
+  Rng rng(5);
+  MatrixF logits(3, 5);
+  fill_normal(logits, rng);
+  MatrixF dlogits;
+  softmax_cross_entropy(logits, {0, 2, 4}, dlogits);
+  for (std::size_t r = 0; r < 3; ++r) {
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < 5; ++c) sum += dlogits(r, c);
+    EXPECT_NEAR(sum, 0.0f, 1e-6f);
+  }
+}
+
+TEST(Loss, AccuracyCountsArgmax) {
+  MatrixF logits(2, 2);
+  logits(0, 0) = 1.0f;  // predicts 0
+  logits(1, 1) = 1.0f;  // predicts 1
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 0}), 0.5);
+}
+
+TEST(Sgd, MovesDownhillOnQuadratic) {
+  // Minimise f(w) = 0.5 * w^2 by feeding grad = w.
+  Param p("w", 1, 1);
+  p.value(0, 0) = 4.0f;
+  SgdOptimizer opt({&p}, 0.1f, 0.0f);
+  for (int i = 0; i < 100; ++i) {
+    p.grad(0, 0) = p.value(0, 0);
+    opt.step();
+  }
+  EXPECT_NEAR(p.value(0, 0), 0.0f, 1e-3f);
+}
+
+TEST(Sgd, MaskKeepsPrunedWeightsZero) {
+  Param p("w", 1, 2);
+  p.value(0, 0) = 1.0f;
+  p.value(0, 1) = 1.0f;
+  MatrixU8 mask(1, 2);
+  mask(0, 0) = 1;
+  mask(0, 1) = 0;
+  p.mask = &mask;
+  SgdOptimizer opt({&p}, 0.1f);
+  p.grad(0, 0) = -1.0f;
+  p.grad(0, 1) = -1.0f;  // pushes the weight up; mask must clamp it
+  opt.step();
+  EXPECT_GT(p.value(0, 0), 1.0f);
+  EXPECT_EQ(p.value(0, 1), 0.0f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Param p("w", 1, 1);
+  p.value(0, 0) = 4.0f;
+  AdamOptimizer opt({&p}, 0.1f);
+  for (int i = 0; i < 300; ++i) {
+    p.grad(0, 0) = p.value(0, 0);
+    opt.step();
+  }
+  EXPECT_NEAR(p.value(0, 0), 0.0f, 1e-2f);
+}
+
+TEST(Params, SnapshotRestoreRoundTrips) {
+  Param a("a", 2, 2), b("b", 1, 3);
+  a.value(0, 0) = 1.0f;
+  b.value(0, 2) = 2.0f;
+  const auto snap = snapshot_params({&a, &b});
+  a.value(0, 0) = 9.0f;
+  b.value(0, 2) = 9.0f;
+  restore_params({&a, &b}, snap);
+  EXPECT_EQ(a.value(0, 0), 1.0f);
+  EXPECT_EQ(b.value(0, 2), 2.0f);
+}
+
+}  // namespace
+}  // namespace tilesparse

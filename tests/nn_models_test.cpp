@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "nn/bert_mini.hpp"
+#include "nn/loss.hpp"
+#include "nn/metrics.hpp"
+#include "nn/nmt_mini.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/vgg_mini.hpp"
+#include "workload/datasets.hpp"
+
+namespace tilesparse {
+namespace {
+
+TEST(BertMini, ForwardShapesAndPrunableCount) {
+  const BertMiniConfig config;
+  TokenTeacherDataset data(64, config.seq, config.classes, config.dim, 1);
+  BertMini model(config, data.embedding());
+  Rng rng(2);
+  const TokenBatch batch = data.sample(8, rng);
+  const MatrixF logits = model.forward(batch);
+  EXPECT_EQ(logits.rows(), 8u);
+  EXPECT_EQ(logits.cols(), config.classes);
+  // 6 prunable matrices per layer (classifier head excluded).
+  EXPECT_EQ(model.prunable_weights().size(), config.layers * 6);
+}
+
+TEST(BertMini, TrainingReducesLoss) {
+  const BertMiniConfig config;
+  TokenTeacherDataset data(64, config.seq, config.classes, config.dim, 3);
+  BertMini model(config, data.embedding());
+  SgdOptimizer opt(model.params(), 0.02f, 0.9f);
+  Rng rng(4);
+
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int step = 0; step < 60; ++step) {
+    const TokenBatch batch = data.sample(64, rng);
+    const MatrixF logits = model.forward(batch);
+    MatrixF dlogits;
+    const float loss = softmax_cross_entropy(logits, batch.y, dlogits);
+    if (step == 0) first_loss = loss;
+    last_loss = loss;
+    model.backward(dlogits);
+    opt.step();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.9f);
+}
+
+TEST(VggMini, ForwardShapes) {
+  const VggMiniConfig config;
+  VggMini model(config);
+  ClusterImageDataset data(config.classes, config.channels, config.height,
+                           config.width, 0.5f, 5);
+  Rng rng(6);
+  const auto batch = data.sample(4, rng);
+  const MatrixF logits = model.forward(batch.x);
+  EXPECT_EQ(logits.rows(), 4u);
+  EXPECT_EQ(logits.cols(), config.classes);
+  EXPECT_EQ(model.prunable_weights().size(), 3u);
+}
+
+TEST(VggMini, LearnsSeparableImages) {
+  const VggMiniConfig config;
+  VggMini model(config);
+  ClusterImageDataset data(config.classes, config.channels, config.height,
+                           config.width, 0.6f, 7);
+  SgdOptimizer opt(model.params(), 0.02f, 0.9f);
+  Rng rng(8);
+  for (int step = 0; step < 80; ++step) {
+    const auto batch = data.sample(64, rng);
+    const MatrixF logits = model.forward(batch.x);
+    MatrixF dlogits;
+    softmax_cross_entropy(logits, batch.y, dlogits);
+    model.backward(dlogits);
+    opt.step();
+  }
+  Rng eval_rng(9);
+  const auto eval = data.sample(256, eval_rng);
+  EXPECT_GT(accuracy(model.forward(eval.x), eval.y), 0.6);
+}
+
+TEST(NmtMini, ForwardShapes) {
+  const NmtMiniConfig config;
+  NmtMini model(config);
+  ReverseDataset data(config.vocab, config.seq, 10);
+  Rng rng(11);
+  const auto batch = data.sample(4, rng);
+  const MatrixF logits = model.forward(batch);
+  EXPECT_EQ(logits.rows(), 4u * config.seq);
+  EXPECT_EQ(logits.cols(), config.vocab);
+  EXPECT_EQ(model.prunable_weights().size(), 5u);
+}
+
+TEST(NmtMini, TeacherForcedLossDecreases) {
+  const NmtMiniConfig config;
+  NmtMini model(config);
+  ReverseDataset data(config.vocab, config.seq, 12);
+  AdamOptimizer opt(model.params(), 3e-3f);
+  Rng rng(13);
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 60; ++step) {
+    const auto batch = data.sample(32, rng);
+    const MatrixF logits = model.forward(batch);
+    MatrixF dlogits;
+    const float loss = softmax_cross_entropy(logits, batch.tgt, dlogits);
+    if (step == 0) first = loss;
+    last = loss;
+    model.backward(dlogits);
+    opt.step();
+  }
+  EXPECT_LT(last, first * 0.9f);
+}
+
+TEST(Bleu, PerfectMatchIsHundred) {
+  const std::vector<int> tokens{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_NEAR(bleu4(tokens, tokens, 1, 8), 100.0, 1e-6);
+}
+
+TEST(Bleu, DisjointIsNearZero) {
+  const std::vector<int> a{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<int> b{9, 10, 11, 12, 13, 14, 15, 16};
+  EXPECT_LT(bleu4(a, b, 1, 8), 5.0);
+}
+
+TEST(Bleu, PartialOverlapBetween) {
+  const std::vector<int> ref{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> cand = ref;
+  cand[7] = 99;
+  const double score = bleu4(cand, ref, 1, 8);
+  EXPECT_GT(score, 30.0);
+  EXPECT_LT(score, 100.0);
+}
+
+}  // namespace
+}  // namespace tilesparse

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "prune/analysis.hpp"
+#include "prune/importance.hpp"
+#include "prune/patterns.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace tilesparse {
+namespace {
+
+MatrixF random_scores(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  MatrixF m(rows, cols);
+  fill_uniform(m, rng, 0.0f, 1.0f);
+  return m;
+}
+
+double mask_sparsity(const MatrixU8& mask) {
+  std::size_t kept = 0;
+  for (auto v : mask.flat()) kept += v != 0;
+  return 1.0 - static_cast<double>(kept) / static_cast<double>(mask.size());
+}
+
+TEST(Importance, MagnitudeIsAbs) {
+  MatrixF w(1, 2);
+  w(0, 0) = -3.0f;
+  w(0, 1) = 2.0f;
+  const MatrixF s = magnitude_scores(w);
+  EXPECT_FLOAT_EQ(s(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(s(0, 1), 2.0f);
+}
+
+TEST(Importance, TaylorIsAbsWTimesGrad) {
+  MatrixF w(1, 2), g(1, 2);
+  w(0, 0) = 2.0f;
+  w(0, 1) = -4.0f;
+  g(0, 0) = -0.5f;
+  g(0, 1) = 0.25f;
+  const MatrixF s = taylor_scores(w, g);
+  EXPECT_FLOAT_EQ(s(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(s(0, 1), 1.0f);
+}
+
+class EwSparsityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(EwSparsityTest, HitsExactTarget) {
+  const double target = GetParam();
+  const MatrixF scores = random_scores(64, 64, 1);
+  const MatrixU8 mask = ew_mask(scores, target);
+  EXPECT_NEAR(mask_sparsity(mask), target, 1.0 / (64.0 * 64.0) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, EwSparsityTest,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           0.99, 1.0));
+
+TEST(EwMask, PrunesLowestScores) {
+  const MatrixF scores = random_scores(32, 32, 2);
+  const MatrixU8 mask = ew_mask(scores, 0.5);
+  float max_pruned = -1.0f, min_kept = 2.0f;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (mask.data()[i])
+      min_kept = std::min(min_kept, scores.data()[i]);
+    else
+      max_pruned = std::max(max_pruned, scores.data()[i]);
+  }
+  EXPECT_LE(max_pruned, min_kept);
+}
+
+TEST(EwMaskGlobal, AllocatesUnevenlyAcrossMatrices) {
+  // Matrix A has systematically larger scores than B, so a global 50%
+  // ranking should prune far more of B.
+  Rng rng(3);
+  MatrixF a(32, 32), b(32, 32);
+  fill_uniform(a, rng, 0.5f, 1.0f);
+  fill_uniform(b, rng, 0.0f, 0.5f);
+  const auto masks = ew_mask_global({&a, &b}, 0.5);
+  EXPECT_LT(mask_sparsity(masks[0]), 0.10);
+  EXPECT_GT(mask_sparsity(masks[1]), 0.90);
+}
+
+TEST(VwMask, EveryVectorHasSameSparsity) {
+  const MatrixF scores = random_scores(64, 16, 4);
+  const std::size_t v = 8;
+  const MatrixU8 mask = vw_mask(scores, 0.5, v);
+  for (std::size_t c = 0; c < 16; ++c) {
+    for (std::size_t r0 = 0; r0 < 64; r0 += v) {
+      std::size_t pruned = 0;
+      for (std::size_t r = 0; r < v; ++r) pruned += mask(r0 + r, c) == 0;
+      EXPECT_EQ(pruned, 4u);
+    }
+  }
+}
+
+TEST(VwMask, RaggedTailVectorHandled) {
+  const MatrixF scores = random_scores(10, 3, 5);  // 10 rows, v=4 -> tail 2
+  const MatrixU8 mask = vw_mask(scores, 0.5, 4);
+  EXPECT_NEAR(mask_sparsity(mask), 0.5, 0.1);
+}
+
+TEST(BwMask, PrunesWholeBlocks) {
+  const MatrixF scores = random_scores(16, 16, 6);
+  const MatrixU8 mask = bw_mask(scores, 0.5, 4);
+  for (std::size_t br = 0; br < 4; ++br) {
+    for (std::size_t bc = 0; bc < 4; ++bc) {
+      std::size_t kept = 0;
+      for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+          kept += mask(br * 4 + r, bc * 4 + c) != 0;
+      EXPECT_TRUE(kept == 0 || kept == 16u);
+    }
+  }
+  EXPECT_NEAR(mask_sparsity(mask), 0.5, 1e-9);
+}
+
+TEST(BwMask, RejectsIndivisibleShape) {
+  const MatrixF scores = random_scores(10, 10, 7);
+  EXPECT_THROW(bw_mask(scores, 0.5, 3), std::invalid_argument);
+}
+
+TEST(Analysis, MaskSparsitiesMatchesManual) {
+  MatrixU8 m(2, 2);
+  m.fill(1);
+  m(0, 0) = 0;
+  const auto s = mask_sparsities({m});
+  EXPECT_DOUBLE_EQ(s[0], 0.25);
+}
+
+TEST(Analysis, ColumnSparsities) {
+  MatrixU8 m(4, 2);
+  m.fill(1);
+  m(0, 1) = m(1, 1) = 0;
+  const auto cs = column_sparsities(m);
+  EXPECT_FLOAT_EQ(cs[0], 0.0f);
+  EXPECT_FLOAT_EQ(cs[1], 0.5f);
+}
+
+TEST(Analysis, UnitZeroFractions) {
+  MatrixU8 m(4, 4);
+  m.fill(1);
+  m(0, 0) = m(0, 1) = m(1, 0) = m(1, 1) = 0;  // one fully-zero 2x2 unit
+  const auto fr = unit_zero_fractions(m, 2, 2);
+  ASSERT_EQ(fr.size(), 4u);
+  EXPECT_FLOAT_EQ(fr[0], 1.0f);
+  EXPECT_FLOAT_EQ(fr[1], 0.0f);
+}
+
+TEST(Analysis, DensityMapAveragesRegions) {
+  MatrixU8 m(8, 8);
+  m.fill(1);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) m(r, c) = 0;
+  const MatrixF map = density_map(m, 2);
+  EXPECT_FLOAT_EQ(map(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(map(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(map(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(map(1, 1), 1.0f);
+}
+
+TEST(Analysis, RenderDensityMapShape) {
+  const MatrixF map = density_map(MatrixU8(8, 8), 4);
+  const std::string art = render_density_map(map);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace tilesparse

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "nn/prune_experiment.hpp"
+#include "nn/param.hpp"
+
+namespace tilesparse {
+namespace {
+
+// Shared pre-trained task for the suite (pre-training is the slow part).
+class PruneExperimentTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    task_ = make_bert_cls_task(/*pretrain_steps=*/150).release();
+    baseline_ = snapshot_params(task_->prunable());
+    dense_metric_ = task_->evaluate();
+  }
+  static void TearDownTestSuite() {
+    delete task_;
+    task_ = nullptr;
+  }
+  void SetUp() override { restore_params(task_->prunable(), baseline_); }
+
+  static PruneTask* task_;
+  static std::vector<MatrixF> baseline_;
+  static double dense_metric_;
+};
+
+PruneTask* PruneExperimentTest::task_ = nullptr;
+std::vector<MatrixF> PruneExperimentTest::baseline_;
+double PruneExperimentTest::dense_metric_ = 0.0;
+
+TEST_F(PruneExperimentTest, DenseBaselineIsWellTrained) {
+  EXPECT_GT(dense_metric_, 0.6);
+}
+
+TEST_F(PruneExperimentTest, EwAtModerateSparsityKeepsAccuracy) {
+  PatternSpec spec;
+  spec.kind = PatternKind::kEw;
+  spec.sparsity = 0.5;
+  const auto result = prune_and_evaluate(*task_, spec, 40);
+  EXPECT_NEAR(result.achieved_sparsity, 0.5, 0.03);
+  EXPECT_GT(result.metric, dense_metric_ - 0.12);
+}
+
+TEST_F(PruneExperimentTest, TwHitsTargetSparsity) {
+  PatternSpec spec;
+  spec.kind = PatternKind::kTw;
+  spec.sparsity = 0.5;
+  spec.g = 16;
+  spec.stages = 2;
+  const auto result = prune_and_evaluate(*task_, spec, 40);
+  EXPECT_NEAR(result.achieved_sparsity, 0.5, 0.07);
+  EXPECT_EQ(result.patterns.size(), task_->prunable().size());
+  for (const auto& p : result.patterns) validate_pattern(p);
+}
+
+TEST_F(PruneExperimentTest, TewRestoresDeltaFraction) {
+  PatternSpec spec;
+  spec.kind = PatternKind::kTew;
+  spec.sparsity = 0.5;
+  spec.tew_delta = 0.05;
+  spec.g = 16;
+  spec.stages = 2;
+  const auto result = prune_and_evaluate(*task_, spec, 40);
+  EXPECT_NEAR(result.achieved_sparsity, 0.5, 0.07);
+}
+
+TEST_F(PruneExperimentTest, MasksMatchZeroedWeights) {
+  PatternSpec spec;
+  spec.kind = PatternKind::kVw;
+  spec.sparsity = 0.5;
+  spec.vector_len = 8;
+  const auto result = prune_and_evaluate(*task_, spec, 20);
+  const auto weights = task_->prunable();
+  ASSERT_EQ(result.masks.size(), weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    for (std::size_t j = 0; j < weights[i]->value.size(); ++j) {
+      if (!result.masks[i].data()[j]) {
+        EXPECT_EQ(weights[i]->value.data()[j], 0.0f);
+      }
+    }
+  }
+}
+
+TEST_F(PruneExperimentTest, BwPrunesAtBlockGranularity) {
+  PatternSpec spec;
+  spec.kind = PatternKind::kBw;
+  spec.sparsity = 0.5;
+  spec.block = 8;
+  const auto result = prune_and_evaluate(*task_, spec, 20);
+  EXPECT_NEAR(result.achieved_sparsity, 0.5, 0.05);
+}
+
+TEST_F(PruneExperimentTest, DenseSpecIsIdentity) {
+  PatternSpec spec;  // kDense
+  const auto result = prune_and_evaluate(*task_, spec, 0);
+  EXPECT_NEAR(result.metric, dense_metric_, 1e-9);
+  EXPECT_EQ(result.achieved_sparsity, 0.0);
+}
+
+TEST(PatternNames, AllDistinct) {
+  EXPECT_STREQ(pattern_name(PatternKind::kTw), "TW");
+  EXPECT_STREQ(pattern_name(PatternKind::kTew), "TEW");
+  EXPECT_STREQ(pattern_name(PatternKind::kEw), "EW");
+  EXPECT_STREQ(pattern_name(PatternKind::kVw), "VW");
+  EXPECT_STREQ(pattern_name(PatternKind::kBw), "BW");
+  EXPECT_STREQ(pattern_name(PatternKind::kDense), "Dense");
+}
+
+}  // namespace
+}  // namespace tilesparse

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/tile_exec.hpp"
+#include "prune/importance.hpp"
+#include "prune/tw_pruner.hpp"
+#include "quant/quant_gemm.hpp"
+#include "quant/quantize.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace tilesparse {
+namespace {
+
+MatrixF random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed,
+                      float stddev = 1.0f) {
+  Rng rng(seed);
+  MatrixF m(rows, cols);
+  fill_normal(m, rng, 0.0f, stddev);
+  return m;
+}
+
+TEST(Quantize, RoundTripErrorBoundedByStep) {
+  const MatrixF m = random_matrix(32, 32, 1);
+  const QuantMatrix q = quantize(m);
+  const MatrixF back = dequantize(q);
+  EXPECT_LE(max_abs_diff(m, back), quantization_step(q) * 0.5f + 1e-7f);
+}
+
+TEST(Quantize, ScaleCoversAbsMax) {
+  MatrixF m(1, 3);
+  m(0, 0) = -12.7f;
+  m(0, 1) = 5.0f;
+  m(0, 2) = 0.0f;
+  const QuantMatrix q = quantize(m);
+  EXPECT_FLOAT_EQ(q.scale, 12.7f / 127.0f);
+  EXPECT_EQ(q.values(0, 0), -127);
+  EXPECT_EQ(q.values(0, 2), 0);
+}
+
+TEST(Quantize, AllZeroMatrixIsStable) {
+  const QuantMatrix q = quantize(MatrixF(4, 4));
+  EXPECT_FLOAT_EQ(q.scale, 1.0f);
+  for (auto v : q.values.flat()) EXPECT_EQ(v, 0);
+}
+
+TEST(QuantGemm, DenseInt8CloseToFloat) {
+  const MatrixF a = random_matrix(16, 64, 2, 0.5f);
+  const MatrixF b = random_matrix(64, 24, 3, 0.5f);
+  const MatrixF c_fp = matmul_reference(a, b);
+  const MatrixF c_q = quant_matmul(quantize(a), quantize(b));
+  // Relative error of int8 GEMM: ~1% of output magnitude for these sizes.
+  const double norm = frobenius_norm(c_fp) / std::sqrt(c_fp.size());
+  EXPECT_LT(max_abs_diff(c_fp, c_q), 0.05f * norm * 10.0f);
+  EXPECT_GT(max_abs_diff(c_fp, c_q), 0.0f);  // quantisation did happen
+}
+
+TEST(QuantGemm, TwInt8MatchesFloatTwWithinError) {
+  MatrixF w = random_matrix(96, 128, 4, 0.3f);
+  const TilePattern pattern =
+      tw_pattern_from_scores(magnitude_scores(w), 0.6, 32);
+  apply_pattern(pattern, w);
+  const auto tiles = compact_tiles(w, pattern);
+  const auto qtiles = quantize_tiles(tiles);
+
+  const MatrixF a = random_matrix(16, 96, 5, 0.3f);
+  const MatrixF c_fp = tw_matmul(a, tiles, 128);
+  const MatrixF c_q = quant_tw_matmul(a, qtiles, 128);
+  const double norm = frobenius_norm(c_fp) / std::sqrt(c_fp.size());
+  EXPECT_LT(max_abs_diff(c_fp, c_q), static_cast<float>(0.1 * norm * 10.0));
+}
+
+TEST(QuantGemm, PerTileScalesBeatSingleGlobalScaleOnSkewedTiles) {
+  // Two tiles with very different magnitudes: per-tile quantisation must
+  // reconstruct the small tile far better than one global scale would.
+  MatrixF w(8, 8);
+  Rng rng(6);
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t c = 0; c < 8; ++c)
+      w(r, c) = rng.normal() * (c < 4 ? 100.0f : 0.01f);
+  const TilePattern pattern = full_pattern(8, 8, 4);
+  const auto qtiles = quantize_tiles(compact_tiles(w, pattern));
+  ASSERT_EQ(qtiles.size(), 2u);
+  EXPECT_GT(qtiles[0].scale, qtiles[1].scale * 100.0f);
+
+  // Reconstruction error of the small tile stays proportional to its own
+  // magnitude, not the large tile's.
+  const float small_step = qtiles[1].scale;
+  EXPECT_LT(small_step, 0.01f);
+}
+
+TEST(QuantGemm, ZeroTilesSkipCleanly) {
+  const std::vector<QuantMaskedTile> none;
+  const MatrixF a = random_matrix(4, 8, 7);
+  const MatrixF c = quant_tw_matmul(a, none, 6);
+  for (float v : c.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(QuantGemm, PreservesPrunedColumnsAsZero) {
+  MatrixF w = random_matrix(32, 32, 8);
+  const TilePattern pattern =
+      tw_pattern_from_scores(magnitude_scores(w), 0.7, 8);
+  apply_pattern(pattern, w);
+  const auto qtiles = quantize_tiles(compact_tiles(w, pattern));
+  const MatrixF a = random_matrix(4, 32, 9);
+  const MatrixF c = quant_tw_matmul(a, qtiles, 32);
+  for (std::size_t col = 0; col < 32; ++col) {
+    if (pattern.col_keep[col]) continue;
+    for (std::size_t r = 0; r < 4; ++r) EXPECT_EQ(c(r, col), 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace tilesparse

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/tile_exec.hpp"
+#include "io/serialize.hpp"
+#include "prune/importance.hpp"
+#include "prune/tw_pruner.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace tilesparse {
+namespace {
+
+MatrixF random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  MatrixF m(rows, cols);
+  fill_normal(m, rng);
+  return m;
+}
+
+TEST(Serialize, MatrixRoundTrip) {
+  const MatrixF m = random_matrix(17, 23, 1);
+  std::stringstream buffer;
+  write_matrix(buffer, m);
+  const MatrixF back = read_matrix(buffer);
+  EXPECT_EQ(back.rows(), m.rows());
+  EXPECT_EQ(back.cols(), m.cols());
+  EXPECT_FLOAT_EQ(max_abs_diff(m, back), 0.0f);
+}
+
+TEST(Serialize, EmptyMatrixRoundTrip) {
+  std::stringstream buffer;
+  write_matrix(buffer, MatrixF{});
+  const MatrixF back = read_matrix(buffer);
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(Serialize, PatternRoundTrip) {
+  const MatrixF w = random_matrix(64, 96, 2);
+  const TilePattern pattern =
+      tw_pattern_from_scores(magnitude_scores(w), 0.6, 16);
+  std::stringstream buffer;
+  write_pattern(buffer, pattern);
+  const TilePattern back = read_pattern(buffer);
+  EXPECT_EQ(back.k, pattern.k);
+  EXPECT_EQ(back.n, pattern.n);
+  EXPECT_EQ(back.g, pattern.g);
+  EXPECT_EQ(back.tiles.size(), pattern.tiles.size());
+  EXPECT_EQ(back.kept_elements(), pattern.kept_elements());
+  for (std::size_t i = 0; i < pattern.tiles.size(); ++i) {
+    EXPECT_EQ(back.tiles[i].out_cols, pattern.tiles[i].out_cols);
+    EXPECT_EQ(back.tiles[i].row_keep, pattern.tiles[i].row_keep);
+  }
+}
+
+TEST(Serialize, TilesRoundTripPreservesExecution) {
+  MatrixF w = random_matrix(48, 64, 3);
+  const TilePattern pattern =
+      tw_pattern_from_scores(magnitude_scores(w), 0.5, 16);
+  apply_pattern(pattern, w);
+  const auto tiles = compact_tiles(w, pattern);
+
+  std::stringstream buffer;
+  write_tiles(buffer, tiles);
+  const auto back = read_tiles(buffer);
+
+  const MatrixF a = random_matrix(8, 48, 4);
+  const MatrixF c1 = tw_matmul(a, tiles, 64);
+  const MatrixF c2 = tw_matmul(a, back, 64);
+  EXPECT_FLOAT_EQ(max_abs_diff(c1, c2), 0.0f);
+}
+
+TEST(Serialize, CsrRoundTrip) {
+  Rng rng(5);
+  MatrixF dense(20, 30);
+  for (float& v : dense.flat()) v = rng.uniform() < 0.7f ? 0.0f : rng.normal();
+  const Csr csr = csr_from_dense(dense);
+  std::stringstream buffer;
+  write_csr(buffer, csr);
+  const Csr back = read_csr(buffer);
+  EXPECT_EQ(back.nnz(), csr.nnz());
+  EXPECT_FLOAT_EQ(max_abs_diff(csr_to_dense(back), dense), 0.0f);
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream buffer;
+  write_matrix(buffer, MatrixF(2, 2));
+  EXPECT_THROW(read_pattern(buffer), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+  const MatrixF m = random_matrix(8, 8, 6);
+  std::stringstream buffer;
+  write_matrix(buffer, m);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_matrix(truncated), std::runtime_error);
+}
+
+TEST(Serialize, CorruptPatternFailsValidation) {
+  const MatrixF w = random_matrix(16, 16, 7);
+  TilePattern pattern = tw_pattern_from_scores(magnitude_scores(w), 0.5, 4);
+  std::stringstream buffer;
+  // Corrupt: duplicate a column across tiles before writing.
+  ASSERT_GE(pattern.tiles.size(), 2u);
+  pattern.tiles[1].out_cols[0] = pattern.tiles[0].out_cols[0];
+  write_pattern(buffer, pattern);
+  EXPECT_THROW(read_pattern(buffer), std::logic_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const MatrixF w = random_matrix(32, 48, 8);
+  const TilePattern pattern =
+      tw_pattern_from_scores(magnitude_scores(w), 0.4, 8);
+  const std::string path = "/tmp/tilesparse_pattern_test.bin";
+  save_pattern(path, pattern);
+  const TilePattern back = load_pattern(path);
+  EXPECT_EQ(back.kept_elements(), pattern.kept_elements());
+  EXPECT_THROW(load_pattern("/nonexistent/dir/x.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tilesparse

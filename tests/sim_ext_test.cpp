@@ -1,0 +1,110 @@
+// Extended execution-model tests: the TPU/systolic projection (paper
+// Sec. VIII), the hypothetical VW sparse tensor core (Zhu et al.), and
+// the energy model.
+
+#include <gtest/gtest.h>
+
+#include "prune/tw_pruner.hpp"
+#include "sim/gemm_model.hpp"
+#include "sim/sparse_model.hpp"
+#include "sim/systolic_model.hpp"
+#include "sim/tw_model.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace tilesparse {
+namespace {
+
+const DeviceModel kDev = DeviceModel::v100();
+const GemmShape kBertFfn{128, 3072, 768};
+
+TilePattern tw_pattern(double sparsity, std::size_t g = 128) {
+  Rng rng(1);
+  MatrixF scores(768, 3072);
+  fill_uniform(scores, rng, 0.01f, 1.0f);
+  return tw_pattern_from_scores(scores, sparsity, g);
+}
+
+TEST(SystolicModel, PeakMacsMatchesArray) {
+  const SystolicModel tpu = SystolicModel::tpu_v3();
+  EXPECT_DOUBLE_EQ(tpu.peak_macs(), 128.0 * 128.0 * 940e6);
+}
+
+TEST(SystolicModel, DenseLatencyScalesWithPanels) {
+  const SystolicModel tpu = SystolicModel::tpu_v3();
+  const auto small = systolic_dense_latency(tpu, {128, 128, 128});
+  const auto large = systolic_dense_latency(tpu, {128, 512, 128});
+  EXPECT_GT(large.seconds(), 2.0 * small.seconds() - tpu.invoke_overhead_s);
+}
+
+TEST(SystolicModel, ArrayQuantisationPenalisesRaggedShapes) {
+  const SystolicModel tpu = SystolicModel::tpu_v3();
+  // 129 columns needs two N-panels: nearly the cost of 256.
+  const auto ragged = systolic_dense_latency(tpu, {128, 129, 128});
+  const auto full = systolic_dense_latency(tpu, {128, 256, 128});
+  EXPECT_NEAR(ragged.seconds(), full.seconds(), full.seconds() * 0.05);
+}
+
+TEST(SystolicModel, TwSpeedsUpAtHighSparsityDespiteInterfaceLimits) {
+  const SystolicModel tpu = SystolicModel::tpu_v3();
+  const auto dense = systolic_dense_latency(tpu, kBertFfn);
+  const auto tw75 = systolic_tw_latency(tpu, 128, tw_pattern(0.75));
+  EXPECT_LT(tw75.seconds(), dense.seconds());
+}
+
+TEST(SystolicModel, G128MatchesArrayBetterThanG32) {
+  // The paper's point: TW on a 128x128 systolic array wants G = 128;
+  // smaller G wastes array columns on padding.
+  const SystolicModel tpu = SystolicModel::tpu_v3();
+  const auto g128 = systolic_tw_latency(tpu, 128, tw_pattern(0.75, 128));
+  const auto g32 = systolic_tw_latency(tpu, 128, tw_pattern(0.75, 32));
+  EXPECT_LE(g128.seconds(), g32.seconds() * 1.05);
+}
+
+TEST(SystolicModel, SerializedInvocationsPayPerGroupOverhead) {
+  SystolicModel tpu = SystolicModel::tpu_v3();
+  tpu.invoke_overhead_s = 100e-6;  // exaggerate to observe
+  const auto tw = systolic_tw_latency(tpu, 128, tw_pattern(0.5));
+  EXPECT_GE(tw.launch_s, 100e-6);
+}
+
+TEST(VwSparseTensorCore, Roughly1Point5xAt75Sparsity) {
+  // The anchor the paper cites for Zhu et al.'s modified tensor core.
+  const auto dense = dense_gemm_latency(kDev, kBertFfn, Core::kTensor);
+  const auto vw = vw_sparse_tensor_core_latency(kDev, kBertFfn, 0.25);
+  const double speedup = dense.seconds() / vw.seconds();
+  EXPECT_GT(speedup, 1.2);
+  EXPECT_LT(speedup, 2.0);
+}
+
+TEST(VwSparseTensorCore, SpeedupSaturates) {
+  // The structured-sparse datapath has a work floor: going from 80% to
+  // 99% sparsity cannot keep scaling like TW does.
+  const auto at80 = vw_sparse_tensor_core_latency(kDev, kBertFfn, 0.20);
+  const auto at99 = vw_sparse_tensor_core_latency(kDev, kBertFfn, 0.01);
+  EXPECT_NEAR(at99.seconds(), at80.seconds(), at80.seconds() * 0.2);
+}
+
+TEST(EnergyModel, SparsitySavesEnergy) {
+  const auto dense = dense_gemm_latency(kDev, kBertFfn, Core::kTensor);
+  const auto tw75 = tw_gemm_latency(kDev, 128, tw_pattern(0.75));
+  EXPECT_LT(tw75.energy_joules(kDev, Core::kTensor),
+            dense.energy_joules(kDev, Core::kTensor));
+}
+
+TEST(EnergyModel, CudaCoreCostsMoreThanTensorCorePerFlop) {
+  const auto tc = dense_gemm_latency(kDev, kBertFfn, Core::kTensor);
+  const auto cc = dense_gemm_latency(kDev, kBertFfn, Core::kCuda);
+  EXPECT_LT(tc.energy_joules(kDev, Core::kTensor),
+            cc.energy_joules(kDev, Core::kCuda));
+}
+
+TEST(EnergyModel, EnergyIsPositiveAndFinite) {
+  const auto r = dense_gemm_latency(kDev, {1, 1, 1}, Core::kTensor);
+  const double e = r.energy_joules(kDev, Core::kTensor);
+  EXPECT_GT(e, 0.0);
+  EXPECT_TRUE(std::isfinite(e));
+}
+
+}  // namespace
+}  // namespace tilesparse

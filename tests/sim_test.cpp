@@ -1,0 +1,182 @@
+// Latency-model invariants.  Absolute times are model outputs, but the
+// *orderings* asserted here are the paper's headline qualitative claims
+// (Sec. III-B, VII-B): they must hold for any sane calibration.
+
+#include <gtest/gtest.h>
+
+#include "prune/importance.hpp"
+#include "prune/tw_pruner.hpp"
+#include "sim/gemm_model.hpp"
+#include "sim/sparse_model.hpp"
+#include "sim/tw_model.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace tilesparse {
+namespace {
+
+const DeviceModel kDev = DeviceModel::v100();
+const GemmShape kBertFfn{128, 3072, 768};
+
+TilePattern tw_pattern(double sparsity, std::size_t g = 128,
+                       std::size_t k = 768, std::size_t n = 3072) {
+  Rng rng(1);
+  MatrixF scores(k, n);
+  fill_uniform(scores, rng, 0.01f, 1.0f);
+  return tw_pattern_from_scores(scores, sparsity, g);
+}
+
+TEST(GemmModel, TensorCoreFasterThanCudaCore) {
+  const auto tc = dense_gemm_latency(kDev, kBertFfn, Core::kTensor);
+  const auto cc = dense_gemm_latency(kDev, kBertFfn, Core::kCuda);
+  EXPECT_LT(tc.seconds(), cc.seconds());
+}
+
+TEST(GemmModel, LatencyScalesWithWork) {
+  // Scale K: at fixed output grid the compute time must grow linearly-ish
+  // (scaling N alone can be free while the SMs are under-filled).
+  const auto small = dense_gemm_latency(kDev, {128, 3072, 768}, Core::kTensor);
+  const auto large = dense_gemm_latency(kDev, {128, 3072, 3072}, Core::kTensor);
+  EXPECT_GT(large.seconds(), 2.0 * small.seconds());
+}
+
+TEST(GemmModel, WaveUtilizationInUnitRange) {
+  for (std::size_t m : {1u, 17u, 128u, 1000u}) {
+    for (std::size_t n : {1u, 64u, 128u, 4096u}) {
+      const double u = wave_utilization(kDev, m, n);
+      EXPECT_GT(u, 0.0);
+      EXPECT_LE(u, 1.0);
+    }
+  }
+}
+
+TEST(GemmModel, SmallGemmUnderutilises) {
+  EXPECT_LT(wave_utilization(kDev, 16, 16), wave_utilization(kDev, 2048, 2048));
+}
+
+TEST(GemmModel, BatchingAmortisesLaunchAndFillsWaves) {
+  const GemmShape tile{128, 128, 768};
+  const auto one = dense_gemm_latency(kDev, tile, Core::kTensor);
+  const auto batched = batched_gemm_latency(kDev, tile, 24, Core::kTensor);
+  EXPECT_LT(batched.seconds(), 24.0 * one.seconds());
+}
+
+TEST(SparseModel, CsrSlowerThanDenseAtModerateSparsity) {
+  // The paper's core negative result: EW at 75% sparsity loses to the
+  // dense model on CUDA cores.
+  const auto dense = dense_gemm_latency(kDev, kBertFfn, Core::kCuda);
+  const auto csr = csr_spmm_latency(kDev, kBertFfn, 0.25);
+  EXPECT_GT(csr.seconds(), dense.seconds());
+}
+
+TEST(SparseModel, CsrWinsAtExtremeSparsity) {
+  // ...but unstructured sparsity does win above ~95% (prior work cited
+  // in Sec. II-B).
+  const auto dense = dense_gemm_latency(kDev, kBertFfn, Core::kCuda);
+  const auto csr = csr_spmm_latency(kDev, kBertFfn, 0.02);
+  EXPECT_LT(csr.seconds(), dense.seconds());
+}
+
+TEST(SparseModel, BsrSlowerThanDenseTcAtModerateSparsity) {
+  const auto dense = dense_gemm_latency(kDev, kBertFfn, Core::kTensor);
+  const auto bsr = bsr_gemm_latency(kDev, kBertFfn, 0.45, 32);
+  EXPECT_GT(bsr.seconds(), 2.0 * dense.seconds());
+}
+
+TEST(SparseModel, Bsr64CrossesOverNear90Percent) {
+  const auto dense = dense_gemm_latency(kDev, kBertFfn, Core::kTensor);
+  const auto at85 = bsr_gemm_latency(kDev, kBertFfn, 0.15, 64);
+  const auto at95 = bsr_gemm_latency(kDev, kBertFfn, 0.05, 64);
+  EXPECT_GT(at85.seconds(), dense.seconds());
+  EXPECT_LT(at95.seconds(), dense.seconds());
+}
+
+TEST(TwModel, ZeroSparsityCarriesMaskOverhead) {
+  // Paper Fig. 11: TW-0 is ~35% slower than dense and issues ~2x loads.
+  const auto dense = dense_gemm_latency(kDev, kBertFfn, Core::kTensor);
+  const auto tw = tw_gemm_latency(kDev, 128, tw_pattern(0.0));
+  EXPECT_GT(tw.seconds(), dense.seconds());
+  EXPECT_LT(tw.seconds(), 2.0 * dense.seconds());
+  EXPECT_GT(tw.load_bytes, 1.5 * dense.load_bytes);
+}
+
+TEST(TwModel, CrossoverNearFortyPercent) {
+  const auto dense = dense_gemm_latency(kDev, kBertFfn, Core::kTensor);
+  const auto at20 = tw_gemm_latency(kDev, 128, tw_pattern(0.20));
+  const auto at60 = tw_gemm_latency(kDev, 128, tw_pattern(0.60));
+  EXPECT_GT(at20.seconds(), dense.seconds());
+  EXPECT_LT(at60.seconds(), dense.seconds());
+}
+
+TEST(TwModel, SpeedupAt75PercentIsMeaningful) {
+  const auto dense = dense_gemm_latency(kDev, kBertFfn, Core::kTensor);
+  const auto tw = tw_gemm_latency(kDev, 128, tw_pattern(0.75));
+  const double speedup = dense.seconds() / tw.seconds();
+  EXPECT_GT(speedup, 1.5);
+  EXPECT_LT(speedup, 4.0);
+}
+
+TEST(TwModel, MonotonicInSparsity) {
+  double previous = 1e9;
+  for (double s : {0.0, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double t = tw_gemm_latency(kDev, 128, tw_pattern(s)).seconds();
+    EXPECT_LE(t, previous + 1e-9) << "sparsity " << s;
+    previous = t;
+  }
+}
+
+TEST(TwModel, TransposeOptimizationHelps) {
+  TwExecOptions with, without;
+  without.transpose_opt = false;
+  const auto p = tw_pattern(0.75);
+  EXPECT_LT(tw_gemm_latency(kDev, 128, p, with).seconds(),
+            tw_gemm_latency(kDev, 128, p, without).seconds());
+}
+
+TEST(TwModel, BatchingHelps) {
+  TwExecOptions with, without;
+  without.batching = false;
+  const auto p = tw_pattern(0.75);
+  EXPECT_LT(tw_gemm_latency(kDev, 128, p, with).seconds(),
+            tw_gemm_latency(kDev, 128, p, without).seconds());
+}
+
+TEST(TwModel, StreamsHelpWhenManyLaunches) {
+  TwExecOptions with, without;
+  with.batching = without.batching = false;  // many launches -> streams matter
+  without.streams = false;
+  const auto p = tw_pattern(0.75);
+  EXPECT_LT(tw_gemm_latency(kDev, 128, p, with).seconds(),
+            tw_gemm_latency(kDev, 128, p, without).seconds());
+}
+
+TEST(TwModel, FlopsEfficiencyDropsAtExtremeSparsity) {
+  // Fig. 11: FLOPS efficiency holds until ~80% then collapses.
+  const auto at50 = tw_gemm_latency(kDev, 128, tw_pattern(0.5));
+  const auto at99 = tw_gemm_latency(kDev, 128, tw_pattern(0.99));
+  EXPECT_GT(at50.flops_efficiency(kDev.tensor_core_flops),
+            at99.flops_efficiency(kDev.tensor_core_flops));
+}
+
+TEST(TewModel, SmallDeltaKillsTensorCoreSpeedup) {
+  // Fig. 10b: at 75% sparsity TEW-1% loses the TW speedup because the EW
+  // remainder runs on CUDA cores.
+  const auto dense = dense_gemm_latency(kDev, kBertFfn, Core::kTensor);
+  const auto tw = tw_gemm_latency(kDev, 128, tw_pattern(0.76));
+  const auto tew = tew_gemm_latency(kDev, 128, tw_pattern(0.76), 0.01);
+  EXPECT_LT(tw.seconds(), dense.seconds());
+  EXPECT_GT(tew.seconds(), 0.8 * dense.seconds());
+}
+
+TEST(TewModel, LatencyGrowsWithDelta) {
+  const auto p = tw_pattern(0.80);
+  double previous = 0.0;
+  for (double delta : {0.01, 0.05, 0.10, 0.15}) {
+    const double t = tew_gemm_latency(kDev, 128, p, delta).seconds();
+    EXPECT_GT(t, previous);
+    previous = t;
+  }
+}
+
+}  // namespace
+}  // namespace tilesparse

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "sparse/spmm.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace tilesparse {
+namespace {
+
+MatrixF random_sparse(std::size_t rows, std::size_t cols, double sparsity,
+                      std::uint64_t seed) {
+  Rng rng(seed);
+  MatrixF m(rows, cols);
+  for (float& v : m.flat())
+    v = (rng.uniform() < sparsity) ? 0.0f : rng.normal();
+  return m;
+}
+
+TEST(Spmm, CsrTimesDenseMatchesReference) {
+  Rng rng(1);
+  const MatrixF a_dense = random_sparse(14, 20, 0.7, 2);
+  MatrixF b(20, 9);
+  fill_normal(b, rng);
+  const MatrixF c = csr_spmm(csr_from_dense(a_dense), b);
+  EXPECT_LT(max_abs_diff(c, matmul_reference(a_dense, b)), 1e-4f);
+}
+
+TEST(Spmm, DenseTimesCsrMatchesReference) {
+  Rng rng(3);
+  MatrixF a(8, 25);
+  fill_normal(a, rng);
+  const MatrixF w = random_sparse(25, 11, 0.8, 4);
+  const MatrixF c = dense_times_csr(a, csr_from_dense(w));
+  EXPECT_LT(max_abs_diff(c, matmul_reference(a, w)), 1e-4f);
+}
+
+TEST(Spmm, EmptySparseGivesZero) {
+  MatrixF a(5, 5);
+  a.fill(1.0f);
+  const MatrixF w(5, 5);  // all zeros
+  const MatrixF c = dense_times_csr(a, csr_from_dense(w));
+  for (float v : c.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Spmm, FullySparseAgreesWithFullyDense) {
+  Rng rng(5);
+  MatrixF a(6, 6), w(6, 6);
+  fill_normal(a, rng);
+  fill_normal(w, rng);
+  const MatrixF c = dense_times_csr(a, csr_from_dense(w));
+  EXPECT_LT(max_abs_diff(c, matmul_reference(a, w)), 1e-4f);
+}
+
+}  // namespace
+}  // namespace tilesparse

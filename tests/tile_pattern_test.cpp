@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "core/tile_pattern.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace tilesparse {
+namespace {
+
+TEST(TilePattern, FullPatternKeepsEverything) {
+  const TilePattern p = full_pattern(16, 40, 8);
+  EXPECT_EQ(p.tiles.size(), 5u);
+  EXPECT_EQ(p.kept_elements(), 16u * 40u);
+  EXPECT_DOUBLE_EQ(p.sparsity(), 0.0);
+  validate_pattern(p);
+}
+
+TEST(TilePattern, ReorganizePacksSurvivingColumns) {
+  // 10 columns, keep 7, G = 3 -> tiles of width 3, 3, 1.
+  std::vector<std::uint8_t> keep{1, 0, 1, 1, 0, 1, 1, 0, 1, 1};
+  const TilePattern p = reorganize_columns(4, 10, 3, keep);
+  ASSERT_EQ(p.tiles.size(), 3u);
+  EXPECT_EQ(p.tiles[0].width(), 3u);
+  EXPECT_EQ(p.tiles[1].width(), 3u);
+  EXPECT_EQ(p.tiles[2].width(), 1u);
+  // First tile owns the first three surviving columns: 0, 2, 3.
+  EXPECT_EQ(p.tiles[0].out_cols, (std::vector<std::int32_t>{0, 2, 3}));
+  validate_pattern(p);
+}
+
+TEST(TilePattern, RowPruningReducesKeptElements) {
+  TilePattern p = full_pattern(8, 8, 4);
+  p.tiles[0].row_keep[0] = 0;
+  p.tiles[0].row_keep[5] = 0;
+  EXPECT_EQ(p.kept_elements(), 8u * 8u - 2u * 4u);
+  EXPECT_NEAR(p.sparsity(), 8.0 / 64.0, 1e-12);
+}
+
+TEST(TilePattern, MacsAccountsPerTileWork) {
+  TilePattern p = full_pattern(10, 8, 4);  // two tiles of width 4
+  p.tiles[0].row_keep[0] = 0;              // tile 0 has 9 rows
+  EXPECT_DOUBLE_EQ(p.macs(2), 2.0 * (9 * 4 + 10 * 4));
+}
+
+TEST(TilePattern, MaskMatchesPattern) {
+  std::vector<std::uint8_t> keep{1, 1, 0, 1};
+  TilePattern p = reorganize_columns(3, 4, 2, keep);
+  p.tiles[0].row_keep[1] = 0;
+  const MatrixU8 mask = pattern_to_mask(p);
+  // Column 2 pruned entirely.
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_EQ(mask(r, 2), 0);
+  // Row 1 pruned in tile 0 (columns 0 and 1).
+  EXPECT_EQ(mask(1, 0), 0);
+  EXPECT_EQ(mask(1, 1), 0);
+  EXPECT_EQ(mask(1, 3), 1);  // tile 1 keeps row 1
+  EXPECT_EQ(mask(0, 0), 1);
+}
+
+TEST(TilePattern, ApplyPatternZeroesPruned) {
+  Rng rng(1);
+  MatrixF w(6, 9);
+  fill_normal(w, rng);
+  std::vector<std::uint8_t> keep(9, 1);
+  keep[4] = 0;
+  TilePattern p = reorganize_columns(6, 9, 4, keep);
+  p.tiles[0].row_keep[2] = 0;
+  apply_pattern(p, w);
+  for (std::size_t r = 0; r < 6; ++r) EXPECT_EQ(w(r, 4), 0.0f);
+  for (auto c : p.tiles[0].out_cols)
+    EXPECT_EQ(w(2, static_cast<std::size_t>(c)), 0.0f);
+  EXPECT_NEAR(sparsity(w), p.sparsity(), 0.02);
+}
+
+TEST(TilePattern, ValidateCatchesColumnInTwoTiles) {
+  TilePattern p = full_pattern(2, 4, 2);
+  p.tiles[1].out_cols[0] = 0;  // duplicate of tile 0's column
+  EXPECT_THROW(validate_pattern(p), std::logic_error);
+}
+
+TEST(TilePattern, ValidateCatchesUncoveredColumn) {
+  TilePattern p = full_pattern(2, 4, 2);
+  p.tiles.pop_back();
+  EXPECT_THROW(validate_pattern(p), std::logic_error);
+}
+
+TEST(TilePattern, ValidateCatchesOverwideTile) {
+  TilePattern p = full_pattern(2, 6, 3);
+  p.g = 2;  // tiles of width 3 now exceed G
+  EXPECT_THROW(validate_pattern(p), std::logic_error);
+}
+
+TEST(TilePattern, ReorganizeRejectsZeroG) {
+  std::vector<std::uint8_t> keep(4, 1);
+  EXPECT_THROW(reorganize_columns(2, 4, 0, keep), std::invalid_argument);
+}
+
+TEST(TilePattern, EmptyKeepGivesNoTiles) {
+  std::vector<std::uint8_t> keep(5, 0);
+  const TilePattern p = reorganize_columns(3, 5, 2, keep);
+  EXPECT_TRUE(p.tiles.empty());
+  EXPECT_DOUBLE_EQ(p.sparsity(), 1.0);
+}
+
+}  // namespace
+}  // namespace tilesparse

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "prune/importance.hpp"
+#include "prune/tw_pruner.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace tilesparse {
+namespace {
+
+MatrixF random_weights(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  MatrixF m(rows, cols);
+  fill_normal(m, rng);
+  return m;
+}
+
+class TwSparsityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TwSparsityTest, PatternFromScoresHitsTarget) {
+  const double target = GetParam();
+  const MatrixF w = random_weights(96, 128, 1);
+  const TilePattern p =
+      tw_pattern_from_scores(magnitude_scores(w), target, 32);
+  validate_pattern(p);
+  EXPECT_NEAR(p.sparsity(), target, 0.06) << "target " << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, TwSparsityTest,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9));
+
+TEST(TwPruner, SingleMatrixReachesTargetAndValidates) {
+  MatrixF w = random_weights(64, 96, 2);
+  TwPruneOptions options;
+  options.target_sparsity = 0.7;
+  options.g = 16;
+  options.stages = 4;
+  const TilePattern p = tw_prune_single(w, options);
+  validate_pattern(p);
+  EXPECT_NEAR(p.sparsity(), 0.7, 0.06);
+  EXPECT_NEAR(sparsity(w), 0.7, 0.06);
+}
+
+TEST(TwPruner, WeightsMatchPatternMask) {
+  MatrixF w = random_weights(48, 64, 3);
+  TwPruneOptions options;
+  options.target_sparsity = 0.6;
+  options.g = 16;
+  const TilePattern p = tw_prune_single(w, options);
+  const MatrixU8 mask = pattern_to_mask(p);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (!mask.data()[i]) {
+      EXPECT_EQ(w.data()[i], 0.0f);
+    }
+  }
+}
+
+TEST(TwPruner, MultiStageIsMonotonicallySparser) {
+  MatrixF w = random_weights(64, 64, 4);
+  TwPruneOptions options;
+  options.target_sparsity = 0.75;
+  options.g = 16;
+  options.stages = 5;
+  std::vector<double> stage_sparsities;
+  tw_prune({&w}, options, /*score_fn=*/{},
+           [&](const std::vector<MatrixU8>&) {
+             stage_sparsities.push_back(sparsity(w));
+           });
+  ASSERT_EQ(stage_sparsities.size(), 5u);
+  for (std::size_t i = 1; i < stage_sparsities.size(); ++i)
+    EXPECT_GE(stage_sparsities[i], stage_sparsities[i - 1] - 1e-9);
+}
+
+TEST(TwPruner, GlobalRankAllocatesUnevenly) {
+  // Matrix A has much larger weights than B: global ranking should prune
+  // B harder than A at the same overall budget.
+  Rng rng(5);
+  MatrixF a(64, 64), b(64, 64);
+  fill_normal(a, rng, 0.0f, 2.0f);
+  fill_normal(b, rng, 0.0f, 0.2f);
+  TwPruneOptions options;
+  options.target_sparsity = 0.5;
+  options.g = 16;
+  options.stages = 1;
+  tw_prune({&a, &b}, options);
+  EXPECT_LT(sparsity(a), 0.30);
+  EXPECT_GT(sparsity(b), 0.70);
+}
+
+TEST(TwPruner, PerMatrixRankIsEven) {
+  Rng rng(6);
+  MatrixF a(64, 64), b(64, 64);
+  fill_normal(a, rng, 0.0f, 2.0f);
+  fill_normal(b, rng, 0.0f, 0.2f);
+  TwPruneOptions options;
+  options.target_sparsity = 0.5;
+  options.g = 16;
+  options.stages = 1;
+  options.global_rank = false;
+  tw_prune({&a, &b}, options);
+  EXPECT_NEAR(sparsity(a), 0.5, 0.08);
+  EXPECT_NEAR(sparsity(b), 0.5, 0.08);
+}
+
+TEST(TwPruner, ColumnSplitExtremesPruneOnlyOneAxis) {
+  {
+    MatrixF w = random_weights(32, 64, 7);
+    TwPruneOptions options;
+    options.target_sparsity = 0.5;
+    options.g = 16;
+    options.stages = 1;
+    options.column_split = 1.0;  // columns only
+    const TilePattern p = tw_prune_single(w, options);
+    for (const auto& tile : p.tiles) EXPECT_EQ(tile.kept_rows(), 32u);
+    EXPECT_NEAR(p.sparsity(), 0.5, 0.05);
+  }
+  {
+    MatrixF w = random_weights(32, 64, 8);
+    TwPruneOptions options;
+    options.target_sparsity = 0.5;
+    options.g = 16;
+    options.stages = 1;
+    options.column_split = 0.0;  // rows only
+    const TilePattern p = tw_prune_single(w, options);
+    EXPECT_EQ(p.kept_columns(), 64u);
+    EXPECT_NEAR(p.sparsity(), 0.5, 0.05);
+  }
+}
+
+TEST(TwPruner, AprioriRunsAndStillHitsTarget) {
+  MatrixF w = random_weights(64, 96, 9);
+  TwPruneOptions options;
+  options.target_sparsity = 0.7;
+  options.g = 16;
+  options.stages = 3;
+  options.apriori = true;
+  const TilePattern p = tw_prune_single(w, options);
+  validate_pattern(p);
+  EXPECT_NEAR(p.sparsity(), 0.7, 0.07);
+}
+
+TEST(TwPruner, FineTuneCallbackReceivesMasksEachStage) {
+  MatrixF w = random_weights(32, 32, 10);
+  TwPruneOptions options;
+  options.target_sparsity = 0.5;
+  options.g = 8;
+  options.stages = 3;
+  int calls = 0;
+  tw_prune({&w}, options, {}, [&](const std::vector<MatrixU8>& masks) {
+    ++calls;
+    ASSERT_EQ(masks.size(), 1u);
+    EXPECT_EQ(masks[0].rows(), 32u);
+  });
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(TwPruner, ScoreFnOverridesMagnitude) {
+  // A score function that protects the first column absolutely.
+  MatrixF w = random_weights(32, 32, 11);
+  TwPruneOptions options;
+  options.target_sparsity = 0.9;
+  options.g = 8;
+  options.stages = 1;
+  options.column_split = 1.0;
+  const auto pattern = tw_prune_single(
+      w, options, [](const MatrixF& weights, std::size_t) {
+        MatrixF s(weights.rows(), weights.cols());
+        for (std::size_t r = 0; r < s.rows(); ++r) s(r, 0) = 100.0f;
+        return s;
+      });
+  EXPECT_EQ(pattern.col_keep[0], 1);
+}
+
+TEST(TwPruner, AtLeastOneColumnSurvives) {
+  MatrixF w = random_weights(16, 16, 12);
+  TwPruneOptions options;
+  options.target_sparsity = 0.999;
+  options.g = 4;
+  options.stages = 1;
+  const TilePattern p = tw_prune_single(w, options);
+  EXPECT_GE(p.kept_columns(), 1u);
+}
+
+}  // namespace
+}  // namespace tilesparse

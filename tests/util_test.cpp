@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/threadpool.hpp"
+
+namespace tilesparse {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) differing += (a() != b());
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float u = rng.uniform();
+    EXPECT_GE(u, 0.0f);
+    EXPECT_LT(u, 1.0f);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const float u = rng.uniform(-3.0f, 5.0f);
+    EXPECT_GE(u, -3.0f);
+    EXPECT_LT(u, 5.0f);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(9);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, BelowStaysBelow) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(RngShuffle, IsPermutation) {
+  Rng rng(11);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  shuffle(shuffled.begin(), shuffled.end(), rng);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), shuffled.begin()));
+  EXPECT_NE(v, shuffled);  // astronomically unlikely to be identity
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, NestedCallsRunSerially) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    pool.parallel_for(0, 10, [&](std::size_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 40);
+}
+
+TEST(ThreadPool, ChunkedVariantSeesContiguousRanges) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for_chunked(0, 997, 10, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_LT(lo, hi);
+    covered += hi - lo;
+  });
+  EXPECT_EQ(covered.load(), 997u);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<float> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+  EXPECT_NEAR(stddev(v), std::sqrt(2.0), 1e-9);
+}
+
+TEST(Stats, PercentileMatchesNumpyConvention) {
+  const std::vector<float> v{10, 20, 30, 40};
+  EXPECT_FLOAT_EQ(percentile(v, 0.0), 10.0f);
+  EXPECT_FLOAT_EQ(percentile(v, 1.0), 40.0f);
+  EXPECT_FLOAT_EQ(percentile(v, 0.5), 25.0f);
+}
+
+TEST(Stats, PercentileEmptyIsZero) {
+  const std::vector<float> empty;
+  EXPECT_FLOAT_EQ(percentile(empty, 0.5), 0.0f);
+}
+
+TEST(Stats, EmpiricalCdfMonotone) {
+  const std::vector<float> values{0.1f, 0.5f, 0.5f, 0.9f};
+  const std::vector<float> grid{0.0f, 0.25f, 0.5f, 0.75f, 1.0f};
+  const auto cdf = empirical_cdf(values, grid);
+  ASSERT_EQ(cdf.size(), grid.size());
+  EXPECT_DOUBLE_EQ(cdf.front(), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+  EXPECT_DOUBLE_EQ(cdf[2], 0.75);  // 3 of 4 values <= 0.5
+}
+
+TEST(Stats, GeomeanOfEqualValues) {
+  const std::vector<double> v{2.0, 2.0, 2.0};
+  EXPECT_NEAR(geomean(v), 2.0, 1e-12);
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row("beta", {2.5}, 1);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvEscapesCommas) {
+  Table t("csv");
+  t.set_header({"a"});
+  t.add_row({"x,y"});
+  EXPECT_NE(t.to_csv().find("\"x,y\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tilesparse

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/datasets.hpp"
+#include "workload/shapes.hpp"
+
+namespace tilesparse {
+namespace {
+
+TEST(Shapes, BertHas72WeightMatrices) {
+  const auto gemms = bert_base_gemms();
+  EXPECT_EQ(gemms.size(), 72u);  // 12 layers x 6 — the Fig. 5 x-axis
+}
+
+TEST(Shapes, BertShapesMatchArchitecture) {
+  const auto gemms = bert_base_gemms(128, 1);
+  EXPECT_EQ(gemms[0].shape.m, 128u);
+  EXPECT_EQ(gemms[0].shape.k, 768u);
+  EXPECT_EQ(gemms[0].shape.n, 768u);
+  // FFN-in is 768 -> 3072.
+  EXPECT_EQ(gemms[4].shape.k, 768u);
+  EXPECT_EQ(gemms[4].shape.n, 3072u);
+}
+
+TEST(Shapes, VggHas16Layers) {
+  const auto gemms = vgg16_gemms();
+  EXPECT_EQ(gemms.size(), 16u);  // 13 conv + 3 FC
+  // conv1_1: 224*224 output pixels, K = 3*9, N = 64.
+  EXPECT_EQ(gemms[0].shape.m, 224u * 224u);
+  EXPECT_EQ(gemms[0].shape.k, 27u);
+  EXPECT_EQ(gemms[0].shape.n, 64u);
+}
+
+TEST(Shapes, NmtGateDimensions) {
+  const auto gemms = nmt_gemms();
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(gemms[i].shape.n, 2048u);  // 4 * hidden
+  }
+}
+
+TEST(Shapes, TotalFlopsPositiveAndOrdered) {
+  // VGG at batch 1 has far more FLOPs than BERT at seq 128 (conv heavy).
+  EXPECT_GT(total_flops(vgg16_gemms()), total_flops(bert_base_gemms()));
+}
+
+TEST(ClusterImages, BatchShapesAndLabelRange) {
+  ClusterImageDataset data(10, 3, 8, 8, 0.5f, 1);
+  Rng rng(2);
+  const auto batch = data.sample(32, rng);
+  EXPECT_EQ(batch.x.rows(), 32u);
+  EXPECT_EQ(batch.x.cols(), 3u * 8u * 8u);
+  for (int y : batch.y) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 10);
+  }
+}
+
+TEST(ClusterImages, LowNoiseIsNearlySeparable) {
+  // With tiny noise, nearest-prototype classification should be easy:
+  // samples of different classes differ a lot more than same class.
+  ClusterImageDataset data(4, 1, 8, 8, 0.05f, 3);
+  Rng rng(4);
+  const auto batch = data.sample(64, rng);
+  // Same-class pairs should be closer than cross-class pairs on average.
+  double same = 0.0, cross = 0.0;
+  int same_n = 0, cross_n = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    for (std::size_t j = i + 1; j < 64; ++j) {
+      double d = 0.0;
+      for (std::size_t f = 0; f < batch.x.cols(); ++f) {
+        const double diff = batch.x(i, f) - batch.x(j, f);
+        d += diff * diff;
+      }
+      if (batch.y[i] == batch.y[j]) {
+        same += d;
+        ++same_n;
+      } else {
+        cross += d;
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(cross_n, 0);
+  EXPECT_LT(same / same_n, 0.5 * cross / cross_n);
+}
+
+TEST(TokenTeacher, DeterministicLabelsForSameTokens) {
+  TokenTeacherDataset data(32, 8, 4, 16, 5);
+  Rng rng1(6), rng2(6);
+  const auto a = data.sample(16, rng1);
+  const auto b = data.sample(16, rng2);
+  EXPECT_EQ(a.tokens, b.tokens);
+  EXPECT_EQ(a.y, b.y);
+}
+
+TEST(TokenTeacher, UsesAllClassesEventually) {
+  TokenTeacherDataset data(64, 16, 4, 32, 7);
+  Rng rng(8);
+  const auto batch = data.sample(512, rng);
+  std::set<int> seen(batch.y.begin(), batch.y.end());
+  EXPECT_GE(seen.size(), 3u);
+}
+
+TEST(SpanData, LabelPointsAtQueryToken) {
+  SpanDataset data(32, 12, 16, 9);
+  Rng rng(10);
+  const auto batch = data.sample(64, rng);
+  for (std::size_t i = 0; i < batch.batch; ++i) {
+    const int pos = batch.y[i];
+    EXPECT_EQ(batch.tokens[i * batch.seq + pos], 0);  // query token id 0
+    // No other position holds the query token.
+    for (std::size_t t = 0; t < batch.seq; ++t) {
+      if (static_cast<int>(t) != pos) {
+        EXPECT_NE(batch.tokens[i * batch.seq + t], 0);
+      }
+    }
+  }
+}
+
+TEST(ReverseData, TargetIsReversedSource) {
+  ReverseDataset data(16, 6, 11);
+  Rng rng(12);
+  const auto batch = data.sample(8, rng);
+  for (std::size_t b = 0; b < batch.batch; ++b)
+    for (std::size_t t = 0; t < batch.seq; ++t)
+      EXPECT_EQ(batch.tgt[b * batch.seq + t],
+                batch.src[b * batch.seq + (batch.seq - 1 - t)]);
+}
+
+}  // namespace
+}  // namespace tilesparse
