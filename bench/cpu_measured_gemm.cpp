@@ -7,11 +7,11 @@
 #include <benchmark/benchmark.h>
 
 #include "core/tile_exec.hpp"
+#include "exec/backend_registry.hpp"
 #include "gemm/dense_gemm.hpp"
 #include "gemm/masked_gemm.hpp"
 #include "prune/tw_pruner.hpp"
 #include "sparse/bsr.hpp"
-#include "sparse/spmm.hpp"
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
 
@@ -57,12 +57,16 @@ BENCHMARK(BM_DenseGemm);
 void BM_TwMaskedGemm(benchmark::State& state) {
   const double sparsity = static_cast<double>(state.range(0)) / 100.0;
   const MatrixF a = make_a();
-  const MatrixF w = make_w();
-  const auto tiles = compact_tiles(w, pattern_at(sparsity));
+  MatrixF w = make_w();
+  const TilePattern pattern = pattern_at(sparsity);
+  apply_pattern(pattern, w);
+  PackOptions pack;
+  pack.pattern = &pattern;
+  const auto tw = make_packed("tw", w, pack);
+  const ExecContext ctx;
   MatrixF c(kM, kN);
   for (auto _ : state) {
-    c.fill(0.0f);
-    masked_gemm_all(a, tiles, c);
+    tw->matmul(ctx, a, c);
     benchmark::DoNotOptimize(c.data());
   }
   state.counters["sparsity"] = sparsity;
@@ -71,6 +75,9 @@ BENCHMARK(BM_TwMaskedGemm)->Arg(0)->Arg(25)->Arg(50)->Arg(75)->Arg(90)->Arg(99);
 
 void BM_TwGatherVariant(benchmark::State& state) {
   // The uncoalesced analogue: indexed loads instead of packed panels.
+  // Deliberately below the PackedWeight API — this row exists to
+  // measure the raw kernel variant the "tw" backend does NOT use
+  // (the coalescing ablation of paper Fig. 7).
   const MatrixF a = make_a();
   const MatrixF w = make_w();
   const auto tiles = compact_tiles(w, pattern_at(0.75));
@@ -90,9 +97,11 @@ void BM_CsrSpmm(benchmark::State& state) {
   MatrixF w = make_w();
   for (float& v : w.flat())
     if (rng.uniform() < sparsity) v = 0.0f;
-  const Csr csr = csr_from_dense(w);
+  const auto csr = make_packed("csr", w);
+  const ExecContext ctx;
+  MatrixF c(kM, kN);
   for (auto _ : state) {
-    MatrixF c = dense_times_csr(a, csr);
+    csr->matmul(ctx, a, c);
     benchmark::DoNotOptimize(c.data());
   }
   state.counters["sparsity"] = sparsity;

@@ -8,9 +8,8 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "core/tile_exec.hpp"
+#include "exec/backend_registry.hpp"
 #include "gemm/dense_gemm.hpp"
-#include "quant/quant_gemm.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
@@ -34,19 +33,24 @@ int main() {
         tw_pattern_from_scores(synthetic_scores(k, n, 17), s, 128);
     MatrixF pruned = w;
     apply_pattern(p, pruned);
-    const auto tiles = compact_tiles(pruned, p);
-    const auto qtiles = quantize_tiles(tiles);
 
-    const MatrixF c_fp32 = tw_matmul(a, tiles, n);
-    const MatrixF c_fp16 = tw_matmul(a, tiles, n, /*fp16_inputs=*/true);
-    const MatrixF c_int8 = quant_tw_matmul(a, qtiles, n);
+    // One artifact, three execution modes: the "tw" backend under fp32
+    // and fp16 activation numerics, and the "tw-int8" backend.
+    PackOptions pack;
+    pack.pattern = &p;
+    const auto tw = make_packed("tw", pruned, pack);
+    const auto tw_int8 = make_packed("tw-int8", pruned, pack);
+
+    ExecContext fp32_ctx, fp16_ctx;
+    fp16_ctx.numerics = Numerics::kFp16;
+
+    const MatrixF c_fp32 = tw->matmul(fp32_ctx, a);
+    const MatrixF c_fp16 = tw->matmul(fp16_ctx, a);
+    const MatrixF c_int8 = tw_int8->matmul(fp32_ctx, a);
 
     MatrixF c(m, n);
-    const double t_fp32 = time_best_of([&] {
-      c.fill(0.0f);
-      masked_gemm_all(a, tiles, c);
-    });
-    const double t_int8 = time_best_of([&] { quant_tw_matmul(a, qtiles, n); });
+    const double t_fp32 = time_best_of([&] { tw->matmul(fp32_ctx, a, c); });
+    const double t_int8 = time_best_of([&] { tw_int8->matmul(fp32_ctx, a, c); });
 
     table.add_row({format_double(s, 2),
                    format_double(max_abs_diff(c_fp32, c_fp16), 4),

@@ -1,14 +1,17 @@
 // Deployment round-trip: the training side prunes and *serialises* the
-// compacted tiles; the inference side loads them back (no re-pruning)
-// and serves requests — optionally in INT8.  This is the artifact flow
-// a production integration of TW would use.
+// compacted tiles; the inference side loads them back (no re-pruning),
+// wraps them in PackedWeight execution backends and serves requests —
+// in fp32 or INT8 from the same artifact.  This is the flow a
+// production integration of TW would use.
 
+#include <cmath>
 #include <cstdio>
 
 #include "core/tile_exec.hpp"
+#include "exec/quant_tw_weight.hpp"
+#include "exec/tw_weight.hpp"
 #include "io/serialize.hpp"
 #include "prune/tw_pruner.hpp"
-#include "quant/quant_gemm.hpp"
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
 
@@ -34,21 +37,30 @@ int main() {
                 100.0 * pattern.sparsity(), pattern.tiles.size(), tiles_path);
   }
 
-  // ---- "inference side": load and serve.
+  // ---- "inference side": load, wrap as execution backends, serve.
   {
     const TilePattern pattern = load_pattern(pattern_path);
     const auto tiles = load_tiles(tiles_path);
     std::printf("loaded:   %.1f%% sparse, %zu tiles\n",
                 100.0 * pattern.sparsity(), tiles.size());
 
+    // Same artifact, two serving precisions behind one interface.
+    const TwWeight fp32_weight(tiles, pattern.k, pattern.n);
+    const QuantTwWeight int8_weight(tiles, pattern.k, pattern.n);
+
     Rng rng(12);
     MatrixF activations(64, 512);
     fill_normal(activations, rng);
 
-    const MatrixF fp32 = tw_matmul(activations, tiles, pattern.n);
-    const auto qtiles = quantize_tiles(tiles);
-    const MatrixF int8 = quant_tw_matmul(activations, qtiles, pattern.n);
+    const ExecContext ctx;
+    const MatrixF fp32 = fp32_weight.matmul(ctx, activations);
+    const MatrixF int8 = int8_weight.matmul(ctx, activations);
 
+    std::printf("'%s' %zu KiB vs '%s' %zu KiB\n",
+                std::string(fp32_weight.format()).c_str(),
+                fp32_weight.bytes() / 1024,
+                std::string(int8_weight.format()).c_str(),
+                int8_weight.bytes() / 1024);
     std::printf("fp32 vs int8 output: max |diff| = %.4f "
                 "(output norm %.2f)\n",
                 max_abs_diff(fp32, int8),

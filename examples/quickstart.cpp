@@ -1,15 +1,17 @@
 // Quickstart: prune one weight matrix to 75% tile-wise sparsity and run
-// the sparse product on the CPU substrate.
+// the sparse product through the unified weight-execution API.
 //
 //   1. build a weight matrix,
 //   2. prune it with the multi-stage TW algorithm (Algorithm 1),
-//   3. compact the surviving tiles (offline pre-processing of Fig. 7),
-//   4. execute C = A * W_sparse with the masked batched GEMM,
+//   3. pack it into an executable PackedWeight via the BackendRegistry
+//      (offline pre-processing of Fig. 7 happens inside the "tw" backend),
+//   4. execute C = A * W_sparse with PackedWeight::matmul,
 //   5. ask the V100 model what this would buy on a tensor-core GPU.
 
 #include <cstdio>
 
-#include "core/tile_exec.hpp"
+#include "exec/backend_registry.hpp"
+#include "exec/planner.hpp"
 #include "gemm/dense_gemm.hpp"
 #include "prune/tw_pruner.hpp"
 #include "sim/gemm_model.hpp"
@@ -38,23 +40,30 @@ int main() {
   std::printf("pruned to %.1f%% sparsity in %zu tiles (G=%zu)\n",
               100.0 * pattern.sparsity(), pattern.tiles.size(), pattern.g);
 
-  // 3. Offline compaction: pruned rows/columns physically removed.
-  //    (Compact the pruned weights — multi-stage pruning edits them.)
-  const auto tiles = compact_tiles(weights, pattern);
+  // 3. Pack into an executable weight.  Every format behind the
+  //    registry ("dense", "tw", "tew", "csr", "tw-int8") executes the
+  //    same logical C = A * W; the planner can also pick the cheapest
+  //    format from the pattern statistics (pack_weight in exec/planner.hpp).
+  PackOptions pack;
+  pack.pattern = &pattern;
+  const auto packed = make_packed("tw", weights, pack);
+  std::printf("packed as '%s': %.2f MiB, %.0fk MACs/row\n",
+              std::string(packed->format()).c_str(),
+              static_cast<double>(packed->bytes()) / (1024.0 * 1024.0),
+              packed->macs(1) / 1e3);
 
-  // 4. Sparse product on the CPU substrate, checked against dense GEMM
-  //    on the zeroed weights.
-  const MatrixF c_sparse = tw_matmul(activations, tiles, 3072);
+  // 4. Sparse product through the unified API, checked against dense
+  //    GEMM on the zeroed weights.
+  const ExecContext ctx;
+  const MatrixF c_sparse = packed->matmul(ctx, activations);
   const MatrixF c_dense = matmul(activations, weights);
   std::printf("max |sparse - dense| = %.2e\n",
               max_abs_diff(c_sparse, c_dense));
 
   const double dense_time = time_best_of([&] { matmul(activations, weights); });
   MatrixF c(128, 3072);
-  const double sparse_time = time_best_of([&] {
-    c.fill(0.0f);
-    masked_gemm_all(activations, tiles, c);
-  });
+  const double sparse_time =
+      time_best_of([&] { packed->matmul(ctx, activations, c); });
   std::printf("measured on this CPU: dense %.2f ms, TW-sparse %.2f ms "
               "(%.2fx)\n",
               dense_time * 1e3, sparse_time * 1e3, dense_time / sparse_time);

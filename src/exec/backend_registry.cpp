@@ -1,0 +1,93 @@
+#include "exec/backend_registry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "exec/csr_weight.hpp"
+#include "exec/dense_weight.hpp"
+#include "exec/quant_tw_weight.hpp"
+#include "exec/tew_weight.hpp"
+#include "exec/tw_weight.hpp"
+#include "prune/importance.hpp"
+
+namespace tilesparse {
+namespace {
+
+const TilePattern& require_pattern(const char* format,
+                                   const PackOptions& options) {
+  if (!options.pattern) {
+    throw std::invalid_argument(std::string(format) +
+                                " packing requires PackOptions.pattern");
+  }
+  return *options.pattern;
+}
+
+std::map<std::string, BackendFactory>& registry() {
+  static std::map<std::string, BackendFactory> backends = {
+      {"dense",
+       [](const MatrixF& w, const PackOptions&) -> std::unique_ptr<PackedWeight> {
+         return std::make_unique<DenseWeight>(w);
+       }},
+      {"tw",
+       [](const MatrixF& w,
+          const PackOptions& o) -> std::unique_ptr<PackedWeight> {
+         return std::make_unique<TwWeight>(w, require_pattern("tw", o));
+       }},
+      {"tew",
+       [](const MatrixF& w,
+          const PackOptions& o) -> std::unique_ptr<PackedWeight> {
+         const TilePattern& pattern = require_pattern("tew", o);
+         if (o.scores) {
+           return std::make_unique<TewWeight>(w, pattern, *o.scores,
+                                              o.tew_delta);
+         }
+         const MatrixF scores = magnitude_scores(w);
+         return std::make_unique<TewWeight>(w, pattern, scores, o.tew_delta);
+       }},
+      {"csr",
+       [](const MatrixF& w,
+          const PackOptions& o) -> std::unique_ptr<PackedWeight> {
+         return std::make_unique<CsrWeight>(w, o.csr_tol);
+       }},
+      {"tw-int8",
+       [](const MatrixF& w,
+          const PackOptions& o) -> std::unique_ptr<PackedWeight> {
+         return std::make_unique<QuantTwWeight>(w, require_pattern("tw-int8", o));
+       }},
+  };
+  return backends;
+}
+
+}  // namespace
+
+void register_backend(const std::string& format, BackendFactory factory) {
+  registry()[format] = std::move(factory);
+}
+
+std::vector<std::string> registered_formats() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, factory] : registry()) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+bool backend_registered(const std::string& format) {
+  return registry().count(format) != 0;
+}
+
+std::unique_ptr<PackedWeight> make_packed(const std::string& format,
+                                          const MatrixF& weights,
+                                          const PackOptions& options) {
+  const auto it = registry().find(format);
+  if (it == registry().end()) {
+    std::string known;
+    for (const auto& name : registered_formats())
+      known += (known.empty() ? "" : ", ") + name;
+    throw std::out_of_range("make_packed: unknown weight format '" + format +
+                            "' (registered: " + known + ")");
+  }
+  return it->second(weights, options);
+}
+
+}  // namespace tilesparse

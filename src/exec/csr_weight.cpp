@@ -1,0 +1,28 @@
+#include "exec/csr_weight.hpp"
+
+#include "sparse/spmm.hpp"
+
+namespace tilesparse {
+
+CsrWeight::CsrWeight(const MatrixF& weights, float tol)
+    : CsrWeight(csr_from_dense(weights, tol)) {}
+
+CsrWeight::CsrWeight(Csr csr)
+    : PackedWeight(csr.rows, csr.cols), csr_(std::move(csr)) {}
+
+MatrixF CsrWeight::to_dense() const { return csr_to_dense(csr_); }
+
+std::size_t CsrWeight::bytes() const noexcept { return csr_bytes(csr_); }
+
+double CsrWeight::macs(std::size_t m) const noexcept {
+  return static_cast<double>(m) * static_cast<double>(csr_.nnz());
+}
+
+void CsrWeight::accumulate(const ExecContext&, const MatrixF& a,
+                           MatrixF& c) const {
+  // fp16 activation rounding is applied by the base wrapper (this
+  // kernel has no native half path).
+  dense_times_csr_accumulate(a, csr_, c);
+}
+
+}  // namespace tilesparse

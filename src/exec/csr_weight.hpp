@@ -1,0 +1,37 @@
+#pragma once
+// CsrWeight — element-wise sparse execution, the cuSparse-style EW/VW
+// baseline: the weight matrix stored as CSR of itself, executed with
+// the gather/scatter dense x CSR kernel.  This is the format the paper
+// argues against at moderate sparsity (poor locality), kept as a
+// backend both as the comparison baseline and because it wins at
+// extreme unstructured sparsity.
+
+#include "exec/packed_weight.hpp"
+#include "sparse/csr.hpp"
+
+namespace tilesparse {
+
+class CsrWeight final : public PackedWeight {
+ public:
+  /// Packs `weights` (K x N), dropping |x| <= tol.
+  explicit CsrWeight(const MatrixF& weights, float tol = 0.0f);
+
+  /// Wraps an existing CSR (of the weight matrix itself).
+  explicit CsrWeight(Csr csr);
+
+  MatrixF to_dense() const override;
+  std::size_t bytes() const noexcept override;
+  double macs(std::size_t m) const noexcept override;
+  std::string_view format() const noexcept override { return "csr"; }
+
+  const Csr& csr() const noexcept { return csr_; }
+
+ protected:
+  void accumulate(const ExecContext& ctx, const MatrixF& a,
+                  MatrixF& c) const override;
+
+ private:
+  Csr csr_;
+};
+
+}  // namespace tilesparse

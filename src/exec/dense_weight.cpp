@@ -1,0 +1,37 @@
+#include "exec/dense_weight.hpp"
+
+#include "quant/quant_gemm.hpp"
+
+namespace tilesparse {
+
+DenseWeight::DenseWeight(MatrixF weights, GemmConfig config)
+    : PackedWeight(weights.rows(), weights.cols()),
+      weights_(std::move(weights)),
+      config_(config) {}
+
+std::size_t DenseWeight::bytes() const noexcept {
+  return weights_.size() * sizeof(float);
+}
+
+double DenseWeight::macs(std::size_t m) const noexcept {
+  return static_cast<double>(m) * static_cast<double>(k()) *
+         static_cast<double>(n());
+}
+
+bool DenseWeight::supports(Numerics) const noexcept { return true; }
+
+void DenseWeight::accumulate(const ExecContext& ctx, const MatrixF& a,
+                             MatrixF& c) const {
+  if (ctx.int8()) {
+    // Dynamic activation quantisation; the weight copy quantises once.
+    std::call_once(quantized_once_, [this] { quantized_ = quantize(weights_); });
+    const MatrixF q = quant_matmul(quantize(a), quantized_);
+    for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] += q.data()[i];
+    return;
+  }
+  GemmConfig config = config_;
+  config.fp16_inputs = ctx.fp16();
+  dense_gemm(a, weights_, c, /*alpha=*/1.0f, /*beta=*/1.0f, config);
+}
+
+}  // namespace tilesparse

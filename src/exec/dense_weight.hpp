@@ -1,0 +1,41 @@
+#pragma once
+// DenseWeight — the unpruned baseline backend: a plain K x N matrix
+// executed with the blocked dense GEMM (the CPU stand-in for
+// cuBLAS/CUTLASS on tensor cores).  Supports every numerics mode: fp16
+// rounds A inside the kernel; int8 quantises both operands dynamically
+// (per-tensor scales) and accumulates in int32.
+
+#include <mutex>
+
+#include "exec/packed_weight.hpp"
+#include "gemm/dense_gemm.hpp"
+#include "quant/quantize.hpp"
+
+namespace tilesparse {
+
+class DenseWeight final : public PackedWeight {
+ public:
+  explicit DenseWeight(MatrixF weights, GemmConfig config = {});
+
+  MatrixF to_dense() const override { return weights_; }
+  std::size_t bytes() const noexcept override;
+  double macs(std::size_t m) const noexcept override;
+  std::string_view format() const noexcept override { return "dense"; }
+  bool supports(Numerics numerics) const noexcept override;
+
+ protected:
+  void accumulate(const ExecContext& ctx, const MatrixF& a,
+                  MatrixF& c) const override;
+  bool native_fp16() const noexcept override { return true; }
+
+ private:
+  MatrixF weights_;  ///< K x N
+  GemmConfig config_;
+  // int8 weight copy, built once on first int8 execution (weights are
+  // immutable after packing; cached so serving does not re-quantise
+  // K x N every call).
+  mutable QuantMatrix quantized_;
+  mutable std::once_flag quantized_once_;
+};
+
+}  // namespace tilesparse

@@ -1,0 +1,42 @@
+#pragma once
+// ExecContext — the one knob bundle every weight-execution backend
+// understands.  Before this existed, numerics were threaded through the
+// kernel layer as loose `fp16_inputs` bools and alpha/beta were honored
+// only by dense_gemm; ExecContext unifies both so `C = alpha * A * W +
+// beta * C` means the same thing under every PackedWeight format.
+
+#include <cstddef>
+
+namespace tilesparse {
+
+/// Requested activation numerics.  Weight numerics are a property of the
+/// *format* (e.g. "tw-int8" stores int8 weights), chosen at pack time;
+/// the context only controls how activations are treated on the way in.
+enum class Numerics {
+  kFp32,  ///< full-precision activations
+  kFp16,  ///< activations rounded through binary16 (tensor-core numerics)
+  kInt8,  ///< activations dynamically quantised (int8-native formats only)
+};
+
+struct ExecContext {
+  /// Worker threads for the kernel launch; 0 = library default.  Only
+  /// meaningful when the build enables OpenMP (serial otherwise).
+  int threads = 0;
+  Numerics numerics = Numerics::kFp32;
+  float alpha = 1.0f;  ///< scale on A*W
+  float beta = 0.0f;   ///< scale on the existing C (0 overwrites)
+
+  bool fp16() const noexcept { return numerics == Numerics::kFp16; }
+  bool int8() const noexcept { return numerics == Numerics::kInt8; }
+};
+
+inline const char* numerics_name(Numerics n) noexcept {
+  switch (n) {
+    case Numerics::kFp32: return "fp32";
+    case Numerics::kFp16: return "fp16";
+    case Numerics::kInt8: return "int8";
+  }
+  return "?";
+}
+
+}  // namespace tilesparse

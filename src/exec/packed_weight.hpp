@@ -1,0 +1,79 @@
+#pragma once
+// PackedWeight — the unified weight-execution interface.
+//
+// The paper's single logical op is C = A * W over interchangeable weight
+// representations: dense, tile-wise (TW), tile-element-wise hybrid
+// (TEW), element-wise sparse (CSR) and int8 TW.  Historically each
+// representation had its own free-function family with its own
+// signature; PackedWeight puts them behind one virtual interface so a
+// layer holds "an executable weight" without caring how it is stored,
+// and new formats plug in through the BackendRegistry.
+//
+// Semantics of matmul: C = alpha * A * W_packed + beta * C, with
+// alpha/beta and activation numerics taken from the ExecContext.  The
+// packed representation is the ground truth: to_dense() reconstructs
+// exactly the matrix the backend multiplies by (pruned entries zero,
+// int8 weights dequantised), so for every format
+//   matmul(ctx, A, C)  ==  dense_gemm(A, to_dense(), C)
+// up to the format's arithmetic (exact for fp32 formats).
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+
+#include "exec/exec_context.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tilesparse {
+
+class PackedWeight {
+ public:
+  virtual ~PackedWeight() = default;
+
+  /// C = alpha * A(M x K) * W(K x N) + beta * C.  C must be M x N.
+  /// Throws std::invalid_argument on shape mismatch or when the context
+  /// requests numerics the format cannot execute (see supports()).
+  void matmul(const ExecContext& ctx, const MatrixF& a, MatrixF& c) const;
+
+  /// Allocating convenience: returns alpha * A * W (beta ignored).
+  MatrixF matmul(const ExecContext& ctx, const MatrixF& a) const;
+
+  /// Dense K x N reconstruction of exactly what this backend executes.
+  virtual MatrixF to_dense() const = 0;
+
+  /// Storage footprint of the packed representation (weights + indices).
+  virtual std::size_t bytes() const noexcept = 0;
+
+  /// Multiply-accumulate count for an M-row activation batch.
+  virtual double macs(std::size_t m) const noexcept = 0;
+
+  /// Registry name of the format ("dense", "tw", "tew", "csr", "tw-int8").
+  virtual std::string_view format() const noexcept = 0;
+
+  /// Whether matmul can honor the requested activation numerics.
+  /// Every format handles fp32 and fp16 (non-native formats round a
+  /// copy of A through binary16); int8 requires an int8-native format
+  /// or a format that quantises dynamically.
+  virtual bool supports(Numerics numerics) const noexcept;
+
+  std::size_t k() const noexcept { return k_; }
+  std::size_t n() const noexcept { return n_; }
+
+ protected:
+  PackedWeight(std::size_t k, std::size_t n) : k_(k), n_(n) {}
+
+  /// C += A * W under `ctx` numerics (alpha/beta already handled by the
+  /// public wrapper; implementations must only accumulate).
+  virtual void accumulate(const ExecContext& ctx, const MatrixF& a,
+                          MatrixF& c) const = 0;
+
+  /// True when the backend's kernels apply fp16 rounding themselves, so
+  /// the wrapper must not pre-round A.
+  virtual bool native_fp16() const noexcept { return false; }
+
+ private:
+  std::size_t k_ = 0;
+  std::size_t n_ = 0;
+};
+
+}  // namespace tilesparse

@@ -1,0 +1,95 @@
+#include "exec/planner.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "tensor/ops.hpp"
+
+namespace tilesparse {
+namespace {
+
+// Gather/scatter MACs execute at a fraction of the tiled-panel rate on
+// every substrate we model; 8x is the round CPU-side analogue of the
+// paper's cuSparse-vs-tensor-core efficiency gap.
+constexpr double kCsrMacPenalty = 8.0;
+// int8 arithmetic is twice as narrow as fp32.
+constexpr double kInt8MacDiscount = 0.5;
+// Weight-traffic term: MAC-equivalents charged per packed byte, so the
+// memory footprint breaks ties when the batch is small.
+constexpr double kMacsPerByte = 4.0;
+
+double traffic_cost(double macs, std::size_t bytes) {
+  return macs + kMacsPerByte * static_cast<double>(bytes);
+}
+
+void pattern_storage(const TilePattern& pattern, std::size_t weight_bytes,
+                     std::size_t& bytes_out) {
+  std::size_t bytes = 0;
+  for (const auto& tile : pattern.tiles) {
+    const std::size_t kt = tile.kept_rows();
+    const std::size_t wt = tile.width();
+    bytes += kt * wt * weight_bytes + kt * sizeof(std::int32_t) +
+             wt * sizeof(std::int32_t);
+  }
+  bytes_out = bytes;
+}
+
+}  // namespace
+
+std::vector<FormatChoice> rank_formats(const MatrixF& weights,
+                                       const TilePattern* pattern,
+                                       const PlannerOptions& options) {
+  const double m = static_cast<double>(options.m);
+  const double k = static_cast<double>(weights.rows());
+  const double n = static_cast<double>(weights.cols());
+  std::vector<FormatChoice> choices;
+
+  FormatChoice dense;
+  dense.format = "dense";
+  dense.macs = m * k * n;
+  dense.bytes = weights.size() * sizeof(float);
+  dense.cost = traffic_cost(dense.macs, dense.bytes);
+  choices.push_back(dense);
+
+  FormatChoice csr;
+  csr.format = "csr";
+  const std::size_t nnz = count_nonzero(weights);
+  csr.macs = m * static_cast<double>(nnz);
+  csr.bytes = nnz * (sizeof(float) + sizeof(std::int32_t)) +
+              (weights.rows() + 1) * sizeof(std::int64_t);
+  csr.cost = traffic_cost(kCsrMacPenalty * csr.macs, csr.bytes);
+  choices.push_back(csr);
+
+  if (pattern) {
+    FormatChoice tw;
+    tw.format = "tw";
+    tw.macs = pattern->macs(options.m);
+    pattern_storage(*pattern, sizeof(float), tw.bytes);
+    tw.cost = traffic_cost(tw.macs, tw.bytes);
+    choices.push_back(tw);
+
+    if (options.allow_int8) {
+      FormatChoice q;
+      q.format = "tw-int8";
+      q.macs = tw.macs;
+      pattern_storage(*pattern, sizeof(std::int8_t), q.bytes);
+      q.cost = traffic_cost(kInt8MacDiscount * q.macs, q.bytes);
+      choices.push_back(q);
+    }
+  }
+
+  std::stable_sort(choices.begin(), choices.end(),
+                   [](const FormatChoice& a, const FormatChoice& b) {
+                     return a.cost < b.cost;
+                   });
+  return choices;
+}
+
+std::unique_ptr<PackedWeight> pack_weight(const MatrixF& weights,
+                                          const PackOptions& pack,
+                                          const PlannerOptions& options) {
+  const auto ranked = rank_formats(weights, pack.pattern, options);
+  return make_packed(ranked.front().format, weights, pack);
+}
+
+}  // namespace tilesparse

@@ -1,0 +1,54 @@
+#pragma once
+// Format planner — picks the cheapest execution format for one weight
+// matrix from pattern statistics, without packing every candidate.
+//
+// The cost model is deliberately simple (this is a packing-time
+// heuristic, not the device simulator in src/sim): estimated cost =
+// effective MACs for a reference batch + a weight-traffic term.  CSR
+// MACs are penalised by a gather/scatter factor mirroring the
+// cuSparse-vs-tensor-core efficiency gap the paper measures (device
+// model: csr_spmm_efficiency = 0.045 vs dense tensor-core ~0.4), which
+// is why unstructured CSR only wins at extreme sparsity.  int8 halves
+// the per-MAC cost (narrower arithmetic), available when the caller
+// allows the accuracy trade.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tile_pattern.hpp"
+#include "exec/backend_registry.hpp"
+#include "exec/packed_weight.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tilesparse {
+
+struct PlannerOptions {
+  /// Reference activation row count the cost is evaluated at.
+  std::size_t m = 64;
+  /// Admit "tw-int8" as a candidate (an accuracy trade the caller must
+  /// opt into).
+  bool allow_int8 = false;
+};
+
+struct FormatChoice {
+  std::string format;
+  double cost = 0.0;       ///< model cost (lower is better)
+  double macs = 0.0;       ///< raw multiply-accumulates at options.m
+  std::size_t bytes = 0;   ///< packed storage footprint estimate
+};
+
+/// Ranks candidate formats for `weights` (already pruned in place when a
+/// pattern exists), cheapest first.  Candidates: "dense", "csr", and —
+/// when `pattern` is non-null — "tw" (+ "tw-int8" if allowed).
+std::vector<FormatChoice> rank_formats(const MatrixF& weights,
+                                       const TilePattern* pattern,
+                                       const PlannerOptions& options = {});
+
+/// Packs `weights` under the cheapest format per rank_formats().
+/// `pack.pattern` doubles as the planner's pattern input.
+std::unique_ptr<PackedWeight> pack_weight(const MatrixF& weights,
+                                          const PackOptions& pack = {},
+                                          const PlannerOptions& options = {});
+
+}  // namespace tilesparse

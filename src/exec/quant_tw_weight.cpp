@@ -1,0 +1,50 @@
+#include "exec/quant_tw_weight.hpp"
+
+#include "core/tile_exec.hpp"
+#include "exec/tw_weight.hpp"
+
+namespace tilesparse {
+
+QuantTwWeight::QuantTwWeight(const MatrixF& weights, const TilePattern& pattern)
+    : QuantTwWeight(compact_tiles(weights, pattern), pattern.k, pattern.n) {}
+
+QuantTwWeight::QuantTwWeight(const std::vector<MaskedTile>& tiles,
+                             std::size_t k, std::size_t n)
+    : QuantTwWeight(quantize_tiles(tiles), k, n) {}
+
+QuantTwWeight::QuantTwWeight(std::vector<QuantMaskedTile> tiles, std::size_t k,
+                             std::size_t n)
+    : PackedWeight(k, n), tiles_(std::move(tiles)) {}
+
+MatrixF QuantTwWeight::to_dense() const {
+  return quant_tiles_to_dense(tiles_, k(), n());
+}
+
+std::size_t QuantTwWeight::bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& tile : tiles_) {
+    total += tile.kept_rows.size() * tile.out_cols.size() * sizeof(std::int8_t) +
+             tile.kept_rows.size() * sizeof(std::int32_t) +
+             tile.out_cols.size() * sizeof(std::int32_t) + sizeof(float);
+  }
+  return total;
+}
+
+double QuantTwWeight::macs(std::size_t m) const noexcept {
+  double total = 0.0;
+  for (const auto& tile : tiles_) {
+    total += static_cast<double>(m) *
+             static_cast<double>(tile.kept_rows.size()) *
+             static_cast<double>(tile.out_cols.size());
+  }
+  return total;
+}
+
+bool QuantTwWeight::supports(Numerics) const noexcept { return true; }
+
+void QuantTwWeight::accumulate(const ExecContext&, const MatrixF& a,
+                               MatrixF& c) const {
+  quant_tw_gemm(a, tiles_, c);
+}
+
+}  // namespace tilesparse

@@ -1,0 +1,49 @@
+#pragma once
+// QuantTwWeight — int8 execution of TW-pruned weights: per-tile weight
+// scales, dynamic per-tensor activation scale, int32 accumulation,
+// float output.  Weight precision is inherent to the format (chosen at
+// pack time), so this backend executes the int8 kernel under every
+// requested activation numerics; to_dense() returns the *dequantised*
+// weights, making the reconstruction the arithmetic ground truth.
+
+#include <vector>
+
+#include "core/tile_pattern.hpp"
+#include "exec/packed_weight.hpp"
+#include "gemm/masked_gemm.hpp"
+#include "quant/quant_gemm.hpp"
+
+namespace tilesparse {
+
+class QuantTwWeight final : public PackedWeight {
+ public:
+  /// Packs and quantises `weights` (K x N, already pruned) under
+  /// `pattern`: compaction then per-tile symmetric int8.
+  QuantTwWeight(const MatrixF& weights, const TilePattern& pattern);
+
+  /// Quantises pre-compacted float tiles (deployment load path).
+  QuantTwWeight(const std::vector<MaskedTile>& tiles, std::size_t k,
+                std::size_t n);
+
+  /// Wraps already-quantised tiles.
+  QuantTwWeight(std::vector<QuantMaskedTile> tiles, std::size_t k,
+                std::size_t n);
+
+  MatrixF to_dense() const override;
+  std::size_t bytes() const noexcept override;
+  double macs(std::size_t m) const noexcept override;
+  std::string_view format() const noexcept override { return "tw-int8"; }
+  bool supports(Numerics numerics) const noexcept override;
+
+  const std::vector<QuantMaskedTile>& tiles() const noexcept { return tiles_; }
+
+ protected:
+  void accumulate(const ExecContext& ctx, const MatrixF& a,
+                  MatrixF& c) const override;
+  bool native_fp16() const noexcept override { return true; }
+
+ private:
+  std::vector<QuantMaskedTile> tiles_;
+};
+
+}  // namespace tilesparse

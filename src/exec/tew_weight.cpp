@@ -1,0 +1,44 @@
+#include "exec/tew_weight.hpp"
+
+#include "exec/tw_weight.hpp"
+#include "gemm/masked_gemm.hpp"
+
+namespace tilesparse {
+
+TewWeight::TewWeight(const MatrixF& weights, const TilePattern& pattern,
+                     const MatrixF& scores, double delta)
+    : TewWeight(build_tew(weights, pattern, scores, delta)) {}
+
+TewWeight::TewWeight(TewMatrix tew)
+    : PackedWeight(tew.k, tew.n), tew_(std::move(tew)) {}
+
+std::size_t TewWeight::bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& tile : tew_.tiles)
+    total += masked_tile_bytes(tile, sizeof(float));
+  total += tew_.remainder.values.size() * sizeof(float) +
+           tew_.remainder.row_idx.size() * sizeof(std::int32_t) +
+           tew_.remainder.col_ptr.size() * sizeof(std::int64_t);
+  return total;
+}
+
+double TewWeight::macs(std::size_t m) const noexcept {
+  double total = static_cast<double>(m) *
+                 static_cast<double>(tew_.remainder.nnz());
+  for (const auto& tile : tew_.tiles) {
+    total += static_cast<double>(m) *
+             static_cast<double>(tile.kept_rows.size()) *
+             static_cast<double>(tile.out_cols.size());
+  }
+  return total;
+}
+
+void TewWeight::accumulate(const ExecContext& ctx, const MatrixF& a,
+                           MatrixF& c) const {
+  // fp16 applies to the TW part only (same semantics as tew_matmul): on
+  // the GPU the EW remainder runs on CUDA cores in fp32.
+  masked_gemm_all(a, tew_.tiles, c, ctx.fp16());
+  csc_gemm_accumulate(a, tew_.remainder, c);
+}
+
+}  // namespace tilesparse

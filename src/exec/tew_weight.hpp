@@ -1,0 +1,40 @@
+#pragma once
+// TewWeight — the hybrid tile-element-wise format: a TW part executed
+// as batched masked GEMM plus an element-wise CSC remainder accumulated
+// separately; linearity of GEMM makes A*W = A*W_tw + A*W_ew exact.
+// Matches the existing TewMatrix decomposition, behind the unified
+// PackedWeight interface.
+
+#include "core/tew.hpp"
+#include "exec/packed_weight.hpp"
+
+namespace tilesparse {
+
+class TewWeight final : public PackedWeight {
+ public:
+  /// Builds the TEW decomposition: `pattern` is TW-pruned to
+  /// alpha + delta; the top `delta` fraction of pruned elements (by
+  /// `scores`) is restored into the CSC remainder.
+  TewWeight(const MatrixF& weights, const TilePattern& pattern,
+            const MatrixF& scores, double delta);
+
+  /// Wraps an existing decomposition.
+  explicit TewWeight(TewMatrix tew);
+
+  MatrixF to_dense() const override { return tew_to_dense(tew_); }
+  std::size_t bytes() const noexcept override;
+  double macs(std::size_t m) const noexcept override;
+  std::string_view format() const noexcept override { return "tew"; }
+
+  const TewMatrix& decomposition() const noexcept { return tew_; }
+
+ protected:
+  void accumulate(const ExecContext& ctx, const MatrixF& a,
+                  MatrixF& c) const override;
+  bool native_fp16() const noexcept override { return true; }
+
+ private:
+  TewMatrix tew_;
+};
+
+}  // namespace tilesparse

@@ -7,8 +7,15 @@
 //   * K blocking          -> "warp tile" panel resident in L1/L2
 //   * 4x16 register tile  -> "thread fragment" kept in registers
 //
-// Parallelism is OpenMP over output row-blocks, matching the
-// one-output-tile-per-SM mapping the paper builds its sparsity on.
+// Output row-blocks are annotated with `#pragma omp parallel for`,
+// matching the one-output-tile-per-SM mapping the paper builds its
+// sparsity on.  The pragmas are only live when the build enables OpenMP
+// (the top-level CMakeLists links OpenMP::OpenMP_CXX when found); in a
+// non-OpenMP build the kernel runs the same blocked loop serially.
+//
+// Callers above the kernel layer should not use this header directly:
+// the exec/ subsystem (PackedWeight / ExecContext) wraps it with unified
+// alpha/beta + numerics handling shared by all weight formats.
 
 #include <cstddef>
 

@@ -52,6 +52,10 @@ std::vector<Param*> MultiHeadAttention::projection_weights() {
   return {&q_.weight(), &k_.weight(), &v_.weight(), &out_.weight()};
 }
 
+std::vector<Linear*> MultiHeadAttention::projection_layers() {
+  return {&q_, &k_, &v_, &out_};
+}
+
 MatrixF MultiHeadAttention::forward(const MatrixF& x) {
   assert(x.cols() == dim_ && x.rows() % seq_ == 0);
   const std::size_t batch = x.rows() / seq_;

@@ -21,6 +21,10 @@ class MultiHeadAttention : public Layer {
   /// The four prunable projection weights (Q, K, V, output).
   std::vector<Param*> projection_weights();
 
+  /// The owning Linear layers, aligned 1:1 with projection_weights();
+  /// exposed so the packed-weight inference path can rebind them.
+  std::vector<Linear*> projection_layers();
+
  private:
   std::size_t dim_, heads_, seq_, head_dim_;
   Linear q_, k_, v_, out_;

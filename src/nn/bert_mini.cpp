@@ -120,4 +120,24 @@ std::vector<Param*> BertMini::prunable_weights() {
   return weights;
 }
 
+std::vector<Linear*> BertMini::prunable_layers() {
+  std::vector<Linear*> layers;
+  for (Block& blk : blocks_) {
+    for (Linear* l : blk.attn->projection_layers()) layers.push_back(l);
+    layers.push_back(blk.ffn_in.get());
+    layers.push_back(blk.ffn_out.get());
+  }
+  return layers;
+}
+
+void BertMini::pack_weights(const std::string& format,
+                            const std::vector<TilePattern>* patterns,
+                            const ExecContext& ctx) {
+  pack_linear_layers(prunable_layers(), format, patterns, ctx);
+}
+
+void BertMini::clear_packed_weights() {
+  clear_packed_linear_layers(prunable_layers());
+}
+
 }  // namespace tilesparse

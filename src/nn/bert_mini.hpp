@@ -38,6 +38,21 @@ class BertMini {
   /// The prunable weight matrices (6 per layer + classifier weight).
   std::vector<Param*> prunable_weights();
 
+  /// The Linear layers owning prunable_weights(), aligned 1:1 with it.
+  std::vector<Linear*> prunable_layers();
+
+  /// Packs every prunable Linear for inference under a registered
+  /// PackedWeight format.  `patterns` (required by the TW-family
+  /// formats) must align 1:1 with prunable_weights() — e.g. the
+  /// patterns a TW/TEW prune run produced.  Forward passes then execute
+  /// those GEMMs through the packed backends; backward still
+  /// differentiates against the dense master weights.
+  void pack_weights(const std::string& format,
+                    const std::vector<TilePattern>* patterns = nullptr,
+                    const ExecContext& ctx = {});
+  /// Back to dense master-weight execution.
+  void clear_packed_weights();
+
   const BertMiniConfig& config() const noexcept { return config_; }
 
  private:

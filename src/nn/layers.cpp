@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "gemm/dense_gemm.hpp"
 #include "tensor/ops.hpp"
@@ -29,9 +30,33 @@ Linear::Linear(std::string name, std::size_t in, std::size_t out, Rng& rng)
   fill_kaiming(weight_.value, rng);
 }
 
+void Linear::pack_weight(const std::string& format,
+                         const PackOptions& options) {
+  set_packed_weight(make_packed(format, weight_.value, options));
+}
+
+void Linear::set_packed_weight(std::unique_ptr<PackedWeight> packed) {
+  if (packed &&
+      (packed->k() != weight_.value.rows() ||
+       packed->n() != weight_.value.cols())) {
+    throw std::invalid_argument("Linear::set_packed_weight: packed " +
+                                std::string(packed->format()) +
+                                " weight shape mismatch for " + weight_.name);
+  }
+  packed_ = std::move(packed);
+}
+
 MatrixF Linear::forward(const MatrixF& x) {
   x_ = x;
-  MatrixF y = matmul(x, weight_.value);
+  MatrixF y;
+  if (packed_) {
+    ExecContext ctx = ctx_;
+    ctx.alpha = 1.0f;
+    ctx.beta = 0.0f;
+    y = packed_->matmul(ctx, x);
+  } else {
+    y = matmul(x, weight_.value);
+  }
   const float* b = bias_.value.data();
   for (std::size_t r = 0; r < y.rows(); ++r) {
     float* row = y.data() + r * y.cols();
@@ -53,6 +78,26 @@ MatrixF Linear::backward(const MatrixF& dy) {
   }
   const MatrixF wt = transposed(weight_.value);
   return matmul(dy, wt);
+}
+
+void pack_linear_layers(const std::vector<Linear*>& layers,
+                        const std::string& format,
+                        const std::vector<TilePattern>* patterns,
+                        const ExecContext& ctx) {
+  if (patterns && patterns->size() != layers.size()) {
+    throw std::invalid_argument(
+        "pack_linear_layers: patterns must align 1:1 with layers");
+  }
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    PackOptions options;
+    if (patterns) options.pattern = &(*patterns)[i];
+    layers[i]->pack_weight(format, options);
+    layers[i]->set_exec_context(ctx);
+  }
+}
+
+void clear_packed_linear_layers(const std::vector<Linear*>& layers) {
+  for (Linear* layer : layers) layer->clear_packed_weight();
 }
 
 // ---------------------------------------------------------------- ReLU

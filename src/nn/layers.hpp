@@ -9,8 +9,13 @@
 //    and accumulates parameter gradients (call zero_grad between steps).
 
 #include <cstddef>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "exec/backend_registry.hpp"
+#include "exec/exec_context.hpp"
+#include "exec/packed_weight.hpp"
 #include "nn/param.hpp"
 #include "tensor/matrix.hpp"
 #include "util/rng.hpp"
@@ -26,6 +31,14 @@ class Layer {
 };
 
 /// y = x W + b.
+///
+/// Inference path: the layer can hold a PackedWeight — any registered
+/// execution format (dense, tw, tew, csr, tw-int8) packed from the
+/// dense master weight — in which case forward() executes through
+/// PackedWeight::matmul under the layer's ExecContext.  The dense Param
+/// remains the master copy: backward() always differentiates against
+/// it, so packing is purely an inference-serving decision and training
+/// code is unaffected.
 class Linear : public Layer {
  public:
   Linear(std::string name, std::size_t in, std::size_t out, Rng& rng);
@@ -37,11 +50,37 @@ class Linear : public Layer {
   Param& weight() noexcept { return weight_; }
   Param& bias() noexcept { return bias_; }
 
+  /// Packs the current master weight under a registered format.
+  void pack_weight(const std::string& format, const PackOptions& options = {});
+  /// Adopts an externally built packed weight (shape must match).
+  void set_packed_weight(std::unique_ptr<PackedWeight> packed);
+  /// Returns to dense master-weight execution.
+  void clear_packed_weight() noexcept { packed_.reset(); }
+  const PackedWeight* packed_weight() const noexcept { return packed_.get(); }
+
+  /// Numerics/threads for packed execution (alpha/beta are fixed by the
+  /// layer semantics y = x W + b).
+  void set_exec_context(const ExecContext& ctx) noexcept { ctx_ = ctx; }
+  const ExecContext& exec_context() const noexcept { return ctx_; }
+
  private:
   Param weight_;  ///< in x out
   Param bias_;    ///< 1 x out
   MatrixF x_;     ///< cached input
+  std::unique_ptr<PackedWeight> packed_;  ///< optional inference backend
+  ExecContext ctx_;
 };
+
+/// Packs each layer's master weight under `format`.  `patterns`, when
+/// given, must align 1:1 with `layers` (TW-family formats need one);
+/// `ctx` is installed as every layer's execution context.
+void pack_linear_layers(const std::vector<Linear*>& layers,
+                        const std::string& format,
+                        const std::vector<TilePattern>* patterns = nullptr,
+                        const ExecContext& ctx = {});
+
+/// Clears packed weights on every layer (back to dense execution).
+void clear_packed_linear_layers(const std::vector<Linear*>& layers);
 
 class ReLU : public Layer {
  public:

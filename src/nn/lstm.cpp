@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "gemm/dense_gemm.hpp"
 #include "tensor/ops.hpp"
@@ -24,6 +25,30 @@ Lstm::Lstm(std::string name, std::size_t input, std::size_t hidden, Rng& rng)
     bias_.value(0, j) = 1.0f;
 }
 
+void Lstm::pack_weights(const std::string& format,
+                        const std::vector<TilePattern>* patterns,
+                        const ExecContext& ctx) {
+  if (patterns && patterns->size() != 2) {
+    throw std::invalid_argument(
+        "Lstm::pack_weights: patterns must hold {Wx, Wh}");
+  }
+  PackOptions wx_options, wh_options;
+  if (patterns) {
+    wx_options.pattern = &(*patterns)[0];
+    wh_options.pattern = &(*patterns)[1];
+  }
+  packed_wx_ = make_packed(format, wx_.value, wx_options);
+  packed_wh_ = make_packed(format, wh_.value, wh_options);
+  ctx_ = ctx;
+  ctx_.alpha = 1.0f;
+  ctx_.beta = 0.0f;
+}
+
+void Lstm::clear_packed_weights() noexcept {
+  packed_wx_.reset();
+  packed_wh_.reset();
+}
+
 MatrixF Lstm::forward(const MatrixF& x, std::size_t seq, const MatrixF& h0,
                       const MatrixF& c0) {
   assert(seq > 0 && x.rows() % seq == 0 && x.cols() == input_);
@@ -37,14 +62,16 @@ MatrixF Lstm::forward(const MatrixF& x, std::size_t seq, const MatrixF& h0,
   hiddens_.assign(seq, MatrixF{});
 
   // Pre-compute all input projections in one big GEMM: (B*S) x 4H.
-  const MatrixF xproj = matmul(x, wx_.value);
+  const MatrixF xproj =
+      packed_wx_ ? packed_wx_->matmul(ctx_, x) : matmul(x, wx_.value);
 
   MatrixF h_prev = h0_;
   MatrixF c_prev = c0_;
   MatrixF out(batch_ * seq, hidden_);
   for (std::size_t t = 0; t < seq; ++t) {
     MatrixF gates(batch_, 4 * hidden_);
-    const MatrixF hproj = matmul(h_prev, wh_.value);
+    const MatrixF hproj = packed_wh_ ? packed_wh_->matmul(ctx_, h_prev)
+                                     : matmul(h_prev, wh_.value);
     for (std::size_t b = 0; b < batch_; ++b) {
       const float* xp = xproj.data() + (b * seq + t) * 4 * hidden_;
       const float* hp = hproj.data() + b * 4 * hidden_;

@@ -4,8 +4,13 @@
 // recurrent GEMM (H x 4H); both are prunable weight matrices.
 
 #include <cstddef>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "exec/backend_registry.hpp"
+#include "exec/exec_context.hpp"
+#include "exec/packed_weight.hpp"
 #include "nn/param.hpp"
 #include "tensor/matrix.hpp"
 #include "util/rng.hpp"
@@ -36,6 +41,15 @@ class Lstm {
   /// Prunable weight matrices (the two GEMM operands).
   std::vector<Param*> gemm_weights() { return {&wx_, &wh_}; }
 
+  /// Packs the input and recurrent GEMMs for inference under a
+  /// registered PackedWeight format.  `patterns` aligns with
+  /// gemm_weights() (Wx then Wh); may be null for pattern-free formats.
+  /// Backward keeps using the dense master weights.
+  void pack_weights(const std::string& format,
+                    const std::vector<TilePattern>* patterns = nullptr,
+                    const ExecContext& ctx = {});
+  void clear_packed_weights() noexcept;
+
   std::size_t hidden() const noexcept { return hidden_; }
 
  private:
@@ -43,6 +57,9 @@ class Lstm {
   Param wx_;    ///< input x 4H (gate order: i, f, g, o)
   Param wh_;    ///< hidden x 4H
   Param bias_;  ///< 1 x 4H
+  std::unique_ptr<PackedWeight> packed_wx_;  ///< optional inference backends
+  std::unique_ptr<PackedWeight> packed_wh_;
+  ExecContext ctx_;
 
   // Caches for backward.
   std::size_t batch_ = 0, seq_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace tilesparse {
 
@@ -113,6 +114,34 @@ std::vector<Param*> NmtMini::prunable_weights() {
   for (Param* p : decoder_->gemm_weights()) weights.push_back(p);
   weights.push_back(&out_proj_->weight());
   return weights;
+}
+
+void NmtMini::pack_weights(const std::string& format,
+                           const std::vector<TilePattern>* patterns,
+                           const ExecContext& ctx) {
+  if (patterns && patterns->size() != 5) {
+    throw std::invalid_argument(
+        "NmtMini::pack_weights: patterns must align with prunable_weights()");
+  }
+  // Slice the flat pattern list along prunable_weights() order:
+  // {enc Wx, enc Wh, dec Wx, dec Wh, out projection}.
+  std::vector<TilePattern> enc_patterns, dec_patterns;
+  if (patterns) {
+    enc_patterns = {(*patterns)[0], (*patterns)[1]};
+    dec_patterns = {(*patterns)[2], (*patterns)[3]};
+  }
+  encoder_->pack_weights(format, patterns ? &enc_patterns : nullptr, ctx);
+  decoder_->pack_weights(format, patterns ? &dec_patterns : nullptr, ctx);
+  PackOptions proj_options;
+  if (patterns) proj_options.pattern = &(*patterns)[4];
+  out_proj_->pack_weight(format, proj_options);
+  out_proj_->set_exec_context(ctx);
+}
+
+void NmtMini::clear_packed_weights() {
+  encoder_->clear_packed_weights();
+  decoder_->clear_packed_weights();
+  out_proj_->clear_packed_weight();
 }
 
 }  // namespace tilesparse

@@ -36,6 +36,15 @@ class NmtMini {
   std::vector<Param*> params();
   std::vector<Param*> prunable_weights();  ///< enc/dec Wx, Wh + out proj
 
+  /// Packs the five prunable GEMMs (enc Wx/Wh, dec Wx/Wh, output
+  /// projection) for inference under a registered PackedWeight format.
+  /// `patterns` aligns 1:1 with prunable_weights(); may be null for
+  /// pattern-free formats.
+  void pack_weights(const std::string& format,
+                    const std::vector<TilePattern>* patterns = nullptr,
+                    const ExecContext& ctx = {});
+  void clear_packed_weights();
+
   const NmtMiniConfig& config() const noexcept { return config_; }
 
  private:

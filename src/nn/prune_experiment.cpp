@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "nn/bert_mini.hpp"
 #include "nn/loss.hpp"
@@ -180,6 +181,25 @@ PruneResult prune_and_evaluate(PruneTask& task, const PatternSpec& spec,
   return result;
 }
 
+double evaluate_with_format(PruneTask& task, const std::string& format,
+                            const std::vector<TilePattern>* patterns,
+                            const ExecContext& ctx) {
+  if (!task.pack_weights(format, patterns, ctx)) {
+    throw std::logic_error("evaluate_with_format: task '" + task.name() +
+                           "' has no packed execution path");
+  }
+  try {
+    const double metric = task.evaluate();
+    task.clear_packed_weights();
+    return metric;
+  } catch (...) {
+    // The restore guarantee must hold on the throwing path too, or the
+    // task would silently keep serving through the stale packed format.
+    task.clear_packed_weights();
+    throw;
+  }
+}
+
 // =================================================================== tasks
 
 namespace {
@@ -191,6 +211,15 @@ class BertTaskBase : public PruneTask {
       : model_(config, embedding), rng_(seed) {}
 
   std::vector<Param*> prunable() override { return model_.prunable_weights(); }
+  std::vector<Param*> parameters() override { return model_.params(); }
+
+  bool pack_weights(const std::string& format,
+                    const std::vector<TilePattern>* patterns,
+                    const ExecContext& ctx) override {
+    model_.pack_weights(format, patterns, ctx);
+    return true;
+  }
+  void clear_packed_weights() override { model_.clear_packed_weights(); }
 
   void train_steps(int steps) override {
     SgdOptimizer opt(model_.params(), lr_, 0.9f);
@@ -286,6 +315,7 @@ class VggTask final : public PruneTask {
   }
   std::string name() const override { return "VGG-ImageNet(proxy)"; }
   std::vector<Param*> prunable() override { return model_.prunable_weights(); }
+  std::vector<Param*> parameters() override { return model_.params(); }
 
   void train_steps(int steps) override {
     SgdOptimizer opt(model_.params(), lr_, 0.9f);
@@ -323,6 +353,15 @@ class NmtTask final : public PruneTask {
   }
   std::string name() const override { return "NMT-IWSLT(proxy)"; }
   std::vector<Param*> prunable() override { return model_.prunable_weights(); }
+  std::vector<Param*> parameters() override { return model_.params(); }
+
+  bool pack_weights(const std::string& format,
+                    const std::vector<TilePattern>* patterns,
+                    const ExecContext& ctx) override {
+    model_.pack_weights(format, patterns, ctx);
+    return true;
+  }
+  void clear_packed_weights() override { model_.clear_packed_weights(); }
 
   void train_steps(int steps) override {
     AdamOptimizer opt(model_.params(), lr_);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/tile_pattern.hpp"
+#include "exec/exec_context.hpp"
 #include "nn/param.hpp"
 
 namespace tilesparse {
@@ -41,11 +42,30 @@ class PruneTask {
   virtual std::string name() const = 0;
   /// Weight matrices eligible for pruning.
   virtual std::vector<Param*> prunable() = 0;
+  /// Every trainable parameter of the model (prunable weights plus
+  /// biases, norms, embeddings) — what snapshot/restore must cover to
+  /// return the task to a byte-identical state.
+  virtual std::vector<Param*> parameters() = 0;
   /// Runs `steps` optimizer steps (masks bound to params stay enforced).
   virtual void train_steps(int steps) = 0;
   /// Metric on the held-out evaluation set: accuracy in [0,1], or BLEU
   /// in [0,100] for the NMT task.
   virtual double evaluate() = 0;
+
+  /// Packs the model's prunable weights for inference under a
+  /// registered PackedWeight format (`patterns` aligned with
+  /// prunable(); required by TW-family formats).  Returns false when
+  /// the task's model has no packed execution path (e.g. conv nets).
+  virtual bool pack_weights(const std::string& format,
+                            const std::vector<TilePattern>* patterns,
+                            const ExecContext& ctx) {
+    (void)format;
+    (void)patterns;
+    (void)ctx;
+    return false;
+  }
+  /// Undoes pack_weights (dense execution).  Default no-op.
+  virtual void clear_packed_weights() {}
 };
 
 /// Result of one prune-and-fine-tune run.
@@ -62,6 +82,15 @@ struct PruneResult {
 /// patterns from the same starting point.
 PruneResult prune_and_evaluate(PruneTask& task, const PatternSpec& spec,
                                int finetune_steps);
+
+/// Packs the task's prunable weights under `format`, evaluates the task
+/// end-to-end through PackedWeight execution, and restores dense
+/// execution before returning.  `patterns` come from a prior TW/TEW
+/// prune run (PruneResult::patterns) for formats that need them.
+/// Throws std::logic_error when the task has no packed execution path.
+double evaluate_with_format(PruneTask& task, const std::string& format,
+                            const std::vector<TilePattern>* patterns = nullptr,
+                            const ExecContext& ctx = {});
 
 // ----------------------------------------------------------------- tasks
 

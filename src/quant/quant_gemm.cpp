@@ -50,9 +50,32 @@ MatrixF quant_matmul(const QuantMatrix& a, const QuantMatrix& b) {
 MatrixF quant_tw_matmul(const MatrixF& a,
                         const std::vector<QuantMaskedTile>& tiles,
                         std::size_t n) {
+  MatrixF c(a.rows(), n);
+  quant_tw_gemm(a, tiles, c);
+  return c;
+}
+
+MatrixF quant_tiles_to_dense(const std::vector<QuantMaskedTile>& tiles,
+                             std::size_t k, std::size_t n) {
+  MatrixF dense(k, n);
+  for (const auto& tile : tiles) {
+    for (std::size_t t = 0; t < tile.kept_rows.size(); ++t) {
+      for (std::size_t j = 0; j < tile.out_cols.size(); ++j) {
+        dense(static_cast<std::size_t>(tile.kept_rows[t]),
+              static_cast<std::size_t>(tile.out_cols[j])) =
+            static_cast<float>(tile.weights(t, j)) * tile.scale;
+      }
+    }
+  }
+  return dense;
+}
+
+void quant_tw_gemm(const MatrixF& a, const std::vector<QuantMaskedTile>& tiles,
+                   MatrixF& c) {
+  assert(c.rows() == a.rows());
   const QuantMatrix aq = quantize(a);
   const std::size_t m = a.rows();
-  MatrixF c(m, n);
+  const std::size_t n = c.cols();
 
 #pragma omp parallel for schedule(dynamic)
   for (std::size_t t = 0; t < tiles.size(); ++t) {
@@ -92,7 +115,6 @@ MatrixF quant_tw_matmul(const MatrixF& a,
       }
     }
   }
-  return c;
 }
 
 }  // namespace tilesparse

@@ -33,4 +33,14 @@ MatrixF quant_tw_matmul(const MatrixF& a,
                         const std::vector<QuantMaskedTile>& tiles,
                         std::size_t n);
 
+/// Accumulating variant: C += A * W.  C must be M x N.  Entry point for
+/// the QuantTwWeight execution backend.
+void quant_tw_gemm(const MatrixF& a, const std::vector<QuantMaskedTile>& tiles,
+                   MatrixF& c);
+
+/// Dense K x N reconstruction of quantised tiles (dequantised values,
+/// zeros where pruned) — what the int8 kernel arithmetically executes.
+MatrixF quant_tiles_to_dense(const std::vector<QuantMaskedTile>& tiles,
+                             std::size_t k, std::size_t n);
+
 }  // namespace tilesparse

@@ -23,8 +23,14 @@ MatrixF csr_spmm(const Csr& a, const MatrixF& b) {
 }
 
 MatrixF dense_times_csr(const MatrixF& a, const Csr& b) {
-  assert(a.cols() == b.rows);
   MatrixF c(a.rows(), b.cols);
+  dense_times_csr_accumulate(a, b, c);
+  return c;
+}
+
+void dense_times_csr_accumulate(const MatrixF& a, const Csr& b, MatrixF& c) {
+  assert(a.cols() == b.rows);
+  assert(c.rows() == a.rows() && c.cols() == b.cols);
   const std::size_t m = a.rows();
 #pragma omp parallel for schedule(dynamic, 16)
   for (std::size_t i = 0; i < m; ++i) {
@@ -39,7 +45,6 @@ MatrixF dense_times_csr(const MatrixF& a, const Csr& b) {
       }
     }
   }
-  return c;
 }
 
 }  // namespace tilesparse

@@ -19,4 +19,9 @@ MatrixF csr_spmm(const Csr& a, const MatrixF& b);
 /// heavy pattern that makes unstructured sparse weights slow.
 MatrixF dense_times_csr(const MatrixF& a, const Csr& b);
 
+/// Accumulating variant: C += A * B.  C must be M x N.  This is the
+/// entry point the CsrWeight execution backend uses; the allocating
+/// wrapper above is implemented on top of it.
+void dense_times_csr_accumulate(const MatrixF& a, const Csr& b, MatrixF& c);
+
 }  // namespace tilesparse

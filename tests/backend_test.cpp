@@ -1,0 +1,405 @@
+// Conformance suite for the unified weight-execution API: every
+// registered PackedWeight format must compute the same logical
+// C = alpha * A * W + beta * C, where W is whatever to_dense()
+// reconstructs (the packed representation is ground truth).  fp32
+// formats must match the dense reference within 1e-4; the int8 format
+// is held to its quantisation error instead.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "exec/backend_registry.hpp"
+#include "exec/planner.hpp"
+#include "nn/bert_mini.hpp"
+#include "nn/nmt_mini.hpp"
+#include "nn/prune_experiment.hpp"
+#include "prune/importance.hpp"
+#include "prune/tw_pruner.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+#include "workload/datasets.hpp"
+
+namespace tilesparse {
+namespace {
+
+MatrixF random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  MatrixF m(rows, cols);
+  fill_normal(m, rng);
+  return m;
+}
+
+/// Packs `w` under `format`, supplying a TW pattern (sparsity 0.6)
+/// where the format requires one.
+std::unique_ptr<PackedWeight> pack_for_test(const std::string& format,
+                                            const MatrixF& w, std::size_t g,
+                                            double sparsity = 0.6) {
+  const MatrixF scores = magnitude_scores(w);
+  const TilePattern pattern = tw_pattern_from_scores(scores, sparsity, g);
+  PackOptions options;
+  options.pattern = &pattern;
+  options.scores = &scores;
+  options.tew_delta = 0.05;
+  return make_packed(format, w, options);
+}
+
+// ------------------------------------------------------------ conformance
+
+struct ConformanceCase {
+  std::size_t m, k, n, g;
+  const char* label;
+};
+
+class BackendConformance
+    : public ::testing::TestWithParam<std::tuple<std::string, ConformanceCase>> {
+};
+
+TEST_P(BackendConformance, MatmulMatchesOwnDenseReconstruction) {
+  const auto& [format, shape] = GetParam();
+  const MatrixF w = random_matrix(shape.k, shape.n, 7 + shape.k);
+  const MatrixF a = random_matrix(shape.m, shape.k, 11 + shape.m);
+
+  const auto packed = pack_for_test(format, w, shape.g);
+  ASSERT_NE(packed, nullptr);
+  EXPECT_EQ(packed->format(), format);
+  EXPECT_EQ(packed->k(), shape.k);
+  EXPECT_EQ(packed->n(), shape.n);
+  EXPECT_GT(packed->bytes(), 0u);
+  EXPECT_GT(packed->macs(shape.m), 0.0);
+
+  const MatrixF dense = packed->to_dense();
+  ASSERT_EQ(dense.rows(), shape.k);
+  ASSERT_EQ(dense.cols(), shape.n);
+  const MatrixF ref = matmul_reference(a, dense);
+  const MatrixF c = packed->matmul(ExecContext{}, a);
+
+  if (format == "tw-int8") {
+    // int8 executes with dynamically quantised activations; error bound
+    // is the activation quantisation step times the reduction depth.
+    const double denom = frobenius_norm(ref) + 1e-6;
+    EXPECT_LT(max_abs_diff(c, ref) / denom * std::sqrt(ref.size()), 0.15)
+        << format << " " << shape.label;
+  } else {
+    EXPECT_LT(max_abs_diff(c, ref), 1e-4f) << format << " " << shape.label;
+  }
+}
+
+TEST_P(BackendConformance, AlphaBetaSemantics) {
+  const auto& [format, shape] = GetParam();
+  const MatrixF w = random_matrix(shape.k, shape.n, 17 + shape.k);
+  const MatrixF a = random_matrix(shape.m, shape.k, 19 + shape.m);
+  const auto packed = pack_for_test(format, w, shape.g);
+
+  MatrixF c = random_matrix(shape.m, shape.n, 23);
+  const MatrixF c0 = c;
+  ExecContext ctx;
+  ctx.alpha = 2.0f;
+  ctx.beta = 0.5f;
+  packed->matmul(ctx, a, c);
+
+  // Self-consistency first: alpha/beta plumbing must scale exactly what
+  // the backend's own plain product computes — valid for every format
+  // including int8, whose accumulate is deterministic per input.
+  const MatrixF plain = packed->matmul(ExecContext{}, a);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], 2.0f * plain.data()[i] + 0.5f * c0.data()[i],
+                1e-4f)
+        << format << " " << shape.label;
+  }
+
+  if (format == "tw-int8") return;  // vs-reference covered with quant tolerance
+  const MatrixF ab = matmul_reference(a, packed->to_dense());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], 2.0f * ab.data()[i] + 0.5f * c0.data()[i], 1e-3f)
+        << format << " " << shape.label;
+  }
+}
+
+TEST_P(BackendConformance, Fp16ActivationsStayClose) {
+  const auto& [format, shape] = GetParam();
+  const MatrixF w = random_matrix(shape.k, shape.n, 29 + shape.k);
+  const MatrixF a = random_matrix(shape.m, shape.k, 31 + shape.m);
+  const auto packed = pack_for_test(format, w, shape.g);
+
+  ExecContext fp16;
+  fp16.numerics = Numerics::kFp16;
+  ASSERT_TRUE(packed->supports(Numerics::kFp16));
+  const MatrixF c16 = packed->matmul(fp16, a);
+  const MatrixF c32 = packed->matmul(ExecContext{}, a);
+  // fp16 inputs, fp32 accumulate: relative error ~2^-11 per operand.
+  const float scale = static_cast<float>(shape.k);
+  EXPECT_LT(max_abs_diff(c16, c32), 0.01f * scale) << format << " "
+                                                   << shape.label;
+}
+
+constexpr ConformanceCase kCases[] = {
+    {8, 64, 96, 16, "divisible"},
+    {7, 50, 70, 16, "K,N not divisible by G"},
+    {1, 48, 32, 16, "1-row A"},
+    {5, 16, 16, 16, "single tile"},
+    {16, 96, 128, 32, "wider"},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, BackendConformance,
+    ::testing::Combine(::testing::Values("dense", "tw", "tew", "csr",
+                                         "tw-int8"),
+                       ::testing::ValuesIn(kCases)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param) + "_" +
+                         std::to_string(std::get<1>(info.param).k) + "x" +
+                         std::to_string(std::get<1>(info.param).n) + "m" +
+                         std::to_string(std::get<1>(info.param).m);
+      for (char& ch : name)
+        if (ch == '-') ch = '_';
+      return name;
+    });
+
+TEST(BackendConformance, CoversEveryRegisteredFormat) {
+  // The parameterized suite hard-codes the format list; fail loudly if
+  // someone registers a sixth built-in without extending coverage.
+  EXPECT_EQ(registered_formats(),
+            (std::vector<std::string>{"csr", "dense", "tew", "tw", "tw-int8"}));
+}
+
+// --------------------------------------------------------- edge patterns
+
+TEST(BackendEdge, FullyPrunedTilesExecuteAsZeroColumns) {
+  // Hand-build a pattern whose middle tile keeps no rows at all.
+  const std::size_t k = 32, n = 48, g = 16;
+  std::vector<std::uint8_t> col_keep(n, 1);
+  TilePattern pattern = reorganize_columns(k, n, g, col_keep);
+  ASSERT_EQ(pattern.tiles.size(), 3u);
+  std::fill(pattern.tiles[1].row_keep.begin(), pattern.tiles[1].row_keep.end(),
+            std::uint8_t{0});
+  validate_pattern(pattern);
+
+  const MatrixF w = random_matrix(k, n, 41);
+  const MatrixF a = random_matrix(4, k, 43);
+  for (const std::string format : {"tw", "tw-int8"}) {
+    PackOptions options;
+    options.pattern = &pattern;
+    const auto packed = make_packed(format, w, options);
+    const MatrixF c = packed->matmul(ExecContext{}, a);
+    // Columns owned by the dead tile must be exactly zero.
+    for (std::size_t r = 0; r < c.rows(); ++r)
+      for (std::int32_t col : pattern.tiles[1].out_cols)
+        EXPECT_EQ(c(r, static_cast<std::size_t>(col)), 0.0f) << format;
+    const MatrixF ref = matmul_reference(a, packed->to_dense());
+    if (format == "tw") {
+      EXPECT_LT(max_abs_diff(c, ref), 1e-4f);
+    }
+  }
+}
+
+TEST(BackendEdge, FullyPrunedMatrixYieldsZeroOutput) {
+  const std::size_t k = 24, n = 32;
+  MatrixF w(k, n);  // all-zero weights
+  const TilePattern pattern =
+      tw_pattern_from_scores(random_matrix(k, n, 47), 0.99, 8);
+  MatrixF pruned = w;
+  PackOptions options;
+  options.pattern = &pattern;
+  const auto packed = make_packed("tw", pruned, options);
+  const MatrixF a = random_matrix(3, k, 53);
+  const MatrixF c = packed->matmul(ExecContext{}, a);
+  for (float v : c.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+// ------------------------------------------------------ numerics support
+
+TEST(BackendNumerics, Int8SupportIsFormatInherent) {
+  const MatrixF w = random_matrix(32, 32, 59);
+  const MatrixF a = random_matrix(4, 32, 61);
+  for (const std::string& format : registered_formats()) {
+    const auto packed = pack_for_test(format, w, 16);
+    ExecContext int8;
+    int8.numerics = Numerics::kInt8;
+    if (packed->supports(Numerics::kInt8)) {
+      const MatrixF c = packed->matmul(int8, a);
+      EXPECT_EQ(c.rows(), 4u) << format;
+    } else {
+      MatrixF c(4, 32);
+      EXPECT_THROW(packed->matmul(int8, a, c), std::invalid_argument)
+          << format;
+    }
+  }
+  // The two int8-capable backends.
+  EXPECT_TRUE(pack_for_test("dense", w, 16)->supports(Numerics::kInt8));
+  EXPECT_TRUE(pack_for_test("tw-int8", w, 16)->supports(Numerics::kInt8));
+  EXPECT_FALSE(pack_for_test("tw", w, 16)->supports(Numerics::kInt8));
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(BackendRegistry, UnknownFormatThrows) {
+  const MatrixF w = random_matrix(8, 8, 67);
+  EXPECT_THROW(make_packed("no-such-format", w), std::out_of_range);
+}
+
+TEST(BackendRegistry, TwFamilyRequiresPattern) {
+  const MatrixF w = random_matrix(16, 16, 71);
+  for (const char* format : {"tw", "tew", "tw-int8"})
+    EXPECT_THROW(make_packed(format, w), std::invalid_argument) << format;
+  // Pattern-free formats pack without options.
+  EXPECT_NO_THROW(make_packed("dense", w));
+  EXPECT_NO_THROW(make_packed("csr", w));
+}
+
+TEST(BackendRegistry, CustomBackendPlugsIn) {
+  register_backend("unit-dense",
+                   [](const MatrixF& w, const PackOptions&) {
+                     return make_packed("dense", w);
+                   });
+  EXPECT_TRUE(backend_registered("unit-dense"));
+  const MatrixF w = random_matrix(8, 12, 73);
+  const auto packed = make_packed("unit-dense", w);
+  EXPECT_EQ(packed->format(), "dense");
+  const MatrixF a = random_matrix(2, 8, 79);
+  EXPECT_LT(max_abs_diff(packed->matmul(ExecContext{}, a),
+                         matmul_reference(a, w)),
+            1e-4f);
+}
+
+// -------------------------------------------------------------- planner
+
+TEST(Planner, DenseWeightsChooseDense) {
+  const MatrixF w = random_matrix(64, 64, 83);
+  const auto ranked = rank_formats(w, nullptr);
+  EXPECT_EQ(ranked.front().format, "dense");
+}
+
+TEST(Planner, ModerateTwSparsityChoosesTw) {
+  MatrixF w = random_matrix(64, 96, 89);
+  const TilePattern pattern =
+      tw_pattern_from_scores(magnitude_scores(w), 0.75, 16);
+  apply_pattern(pattern, w);
+  const auto ranked = rank_formats(w, &pattern);
+  EXPECT_EQ(ranked.front().format, "tw");
+  // CSR at 75% must still lose to TW (the gather/scatter penalty — the
+  // paper's core efficiency argument).
+  for (const auto& choice : ranked) {
+    if (choice.format == "csr") {
+      EXPECT_GT(choice.cost, ranked.front().cost);
+    }
+  }
+}
+
+TEST(Planner, ExtremeUnstructuredSparsityChoosesCsr) {
+  Rng rng(97);
+  MatrixF w(64, 96);
+  // 1% dense, unstructured.
+  for (float& v : w.flat())
+    if (rng.uniform() < 0.01) v = rng.normal();
+  const auto ranked = rank_formats(w, nullptr);
+  EXPECT_EQ(ranked.front().format, "csr");
+}
+
+TEST(Planner, Int8OptInWinsWhenAllowed) {
+  MatrixF w = random_matrix(64, 96, 101);
+  const TilePattern pattern =
+      tw_pattern_from_scores(magnitude_scores(w), 0.5, 16);
+  apply_pattern(pattern, w);
+  PlannerOptions options;
+  options.allow_int8 = true;
+  const auto ranked = rank_formats(w, &pattern, options);
+  EXPECT_EQ(ranked.front().format, "tw-int8");
+}
+
+TEST(Planner, PackWeightBuildsTheWinner) {
+  MatrixF w = random_matrix(48, 64, 103);
+  const TilePattern pattern =
+      tw_pattern_from_scores(magnitude_scores(w), 0.8, 16);
+  apply_pattern(pattern, w);
+  PackOptions pack;
+  pack.pattern = &pattern;
+  const auto packed = pack_weight(w, pack);
+  EXPECT_EQ(packed->format(), rank_formats(w, &pattern).front().format);
+  const MatrixF a = random_matrix(4, 48, 107);
+  EXPECT_LT(max_abs_diff(packed->matmul(ExecContext{}, a),
+                         matmul_reference(a, packed->to_dense())),
+            1e-4f);
+}
+
+// -------------------------------------------- NN stack packed inference
+
+TEST(PackedInference, TwPrunedBertMatchesDenseMaskedReference) {
+  // Acceptance: a TW-pruned bert_mini forward pass through Linear-held
+  // packed weights matches the dense-masked reference within 1e-4.
+  BertMiniConfig config;
+  config.layers = 1;
+  TokenTeacherDataset data(64, config.seq, config.classes, config.dim, 109);
+  BertMini model(config, data.embedding());
+
+  // Prune every prunable weight to 50% TW in place.
+  std::vector<Param*> weights = model.prunable_weights();
+  std::vector<TilePattern> patterns;
+  for (Param* p : weights) {
+    const TilePattern pattern =
+        tw_pattern_from_scores(magnitude_scores(p->value), 0.5, 16);
+    apply_pattern(pattern, p->value);
+    patterns.push_back(pattern);
+  }
+
+  Rng rng(113);
+  const TokenBatch batch = data.sample(8, rng);
+  const MatrixF dense_logits = model.forward(batch);  // dense-masked ref
+
+  model.pack_weights("tw", &patterns);
+  const MatrixF packed_logits = model.forward(batch);
+  EXPECT_LT(max_abs_diff(packed_logits, dense_logits), 1e-4f);
+
+  // Every other fp32 format serves the same model.  ("tew" packed from
+  // already-zeroed weights has an empty remainder — equivalent to "tw";
+  // see PackOptions.scores — which is exactly why it must still match.)
+  for (const std::string format : {"tew", "csr", "dense"}) {
+    model.pack_weights(format, &patterns);
+    const MatrixF logits = model.forward(batch);
+    EXPECT_LT(max_abs_diff(logits, dense_logits), 1e-3f) << format;
+  }
+
+  model.clear_packed_weights();
+  const MatrixF back = model.forward(batch);
+  EXPECT_LT(max_abs_diff(back, dense_logits), 1e-6f);
+}
+
+TEST(PackedInference, NmtLstmRunsPacked) {
+  NmtMiniConfig config;
+  NmtMini model(config);
+
+  std::vector<Param*> weights = model.prunable_weights();
+  ASSERT_EQ(weights.size(), 5u);
+  std::vector<TilePattern> patterns;
+  for (Param* p : weights) {
+    const TilePattern pattern =
+        tw_pattern_from_scores(magnitude_scores(p->value), 0.4, 8);
+    apply_pattern(pattern, p->value);
+    patterns.push_back(pattern);
+  }
+
+  ReverseDataset data(config.vocab, config.seq, 127);
+  Rng rng(131);
+  const Seq2SeqBatch batch = data.sample(4, rng);
+  const MatrixF dense_logits = model.forward(batch);
+
+  model.pack_weights("tw", &patterns);
+  const MatrixF packed_logits = model.forward(batch);
+  EXPECT_LT(max_abs_diff(packed_logits, dense_logits), 1e-4f);
+  model.clear_packed_weights();
+}
+
+TEST(PackedInference, EvaluateWithFormatRoundTrips) {
+  auto task = make_bert_cls_task(/*pretrain_steps=*/20, 137);
+  const double dense_metric = task->evaluate();
+  // Dense packing changes nothing about the math.
+  const double packed_metric = evaluate_with_format(*task, "dense");
+  EXPECT_NEAR(packed_metric, dense_metric, 1e-9);
+  // And the task is back on the dense path afterwards.
+  EXPECT_NEAR(task->evaluate(), dense_metric, 1e-9);
+}
+
+}  // namespace
+}  // namespace tilesparse

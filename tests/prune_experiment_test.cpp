@@ -11,14 +11,18 @@ class PruneExperimentTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     task_ = make_bert_cls_task(/*pretrain_steps=*/150).release();
-    baseline_ = snapshot_params(task_->prunable());
+    // Snapshot *all* parameters, not just the prunable weights: tests
+    // fine-tune the model, which also moves biases/norms/embeddings,
+    // and later tests (DenseSpecIsIdentity) need the exact pre-trained
+    // state back.
+    baseline_ = snapshot_params(task_->parameters());
     dense_metric_ = task_->evaluate();
   }
   static void TearDownTestSuite() {
     delete task_;
     task_ = nullptr;
   }
-  void SetUp() override { restore_params(task_->prunable(), baseline_); }
+  void SetUp() override { restore_params(task_->parameters(), baseline_); }
 
   static PruneTask* task_;
   static std::vector<MatrixF> baseline_;
