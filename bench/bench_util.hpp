@@ -1,7 +1,12 @@
 #pragma once
 // Shared helpers for the per-figure benchmark binaries.
 
+#include <cstddef>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/tile_pattern.hpp"
@@ -15,6 +20,70 @@
 #include "workload/shapes.hpp"
 
 namespace tilesparse::bench {
+
+// ------------------------------------------------------- JSON reporter
+//
+// Measured benches accept `--json=<path>` and append one record per
+// measurement, so every PR leaves a machine-readable perf trajectory
+// (BENCH_gemm.json) future PRs can diff against.
+
+struct BenchRecord {
+  std::string name;    ///< benchmark row, e.g. "dense_gemm/128x256x256"
+  std::string format;  ///< weight format exercised ("dense", "tw", ...)
+  std::size_t m = 0, k = 0, n = 0;
+  double gflops = 0.0;       ///< 2 * effective MACs / second
+  double ns_per_iter = 0.0;  ///< wall time per iteration
+  double sparsity = -1.0;    ///< fraction pruned; < 0 when not applicable
+};
+
+class BenchJson {
+ public:
+  void add(BenchRecord record) { records_.push_back(std::move(record)); }
+  bool empty() const noexcept { return records_.empty(); }
+
+  /// Writes the accumulated records as a JSON array.  Returns false
+  /// (after printing a diagnostic) when the file cannot be opened.
+  bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      out << "  {\"name\": \"" << r.name << "\", \"format\": \"" << r.format
+          << "\", \"m\": " << r.m << ", \"k\": " << r.k << ", \"n\": " << r.n
+          << ", \"gflops\": " << r.gflops
+          << ", \"ns_per_iter\": " << r.ns_per_iter;
+      if (r.sparsity >= 0.0) out << ", \"sparsity\": " << r.sparsity;
+      out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    std::printf("wrote %zu records to %s\n", records_.size(), path.c_str());
+    return true;
+  }
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
+/// Extracts and removes a `--json=<path>` argument; returns the path or
+/// "" when absent.  Removal keeps the remaining argv parseable by other
+/// flag handlers (e.g. google-benchmark's).
+inline std::string take_json_flag(int& argc, char** argv) {
+  std::string path;
+  int write_at = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else {
+      argv[write_at++] = argv[i];
+    }
+  }
+  argc = write_at;
+  return path;
+}
 
 /// Synthetic importance scores shaped like trained-network statistics:
 /// i.i.d. magnitudes with a fraction of globally weak columns (weak

@@ -16,7 +16,9 @@
 using namespace tilesparse;
 using namespace tilesparse::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = take_json_flag(argc, argv);
+  BenchJson sink;
   std::puts("== Extension: TW x INT8 quantization ==\n");
   Rng rng(3);
   const std::size_t m = 256, k = 768, n = 768;
@@ -52,6 +54,22 @@ int main() {
     const double t_fp32 = time_best_of([&] { tw->matmul(fp32_ctx, a, c); });
     const double t_int8 = time_best_of([&] { tw_int8->matmul(fp32_ctx, a, c); });
 
+    const char* fmt[] = {"tw", "tw-int8"};
+    const PackedWeight* packed[] = {tw.get(), tw_int8.get()};
+    const double times[] = {t_fp32, t_int8};
+    for (int v = 0; v < 2; ++v) {
+      BenchRecord record;
+      record.name = std::string("quant_tw/") + fmt[v];
+      record.format = fmt[v];
+      record.m = m;
+      record.k = k;
+      record.n = n;
+      record.sparsity = s;
+      record.ns_per_iter = times[v] * 1e9;
+      record.gflops = 2.0 * packed[v]->macs(m) / times[v] * 1e-9;
+      sink.add(std::move(record));
+    }
+
     table.add_row({format_double(s, 2),
                    format_double(max_abs_diff(c_fp32, c_fp16), 4),
                    format_double(max_abs_diff(c_fp32, c_int8), 4),
@@ -75,5 +93,6 @@ int main() {
   std::printf("  dense %.3f mJ | TW-75%% %.3f mJ | saving %.1f%%\n",
               dense_energy * 1e3, tw_energy * 1e3,
               100.0 * (1.0 - tw_energy / dense_energy));
+  if (!json_path.empty() && !sink.write(json_path)) return 1;
   return 0;
 }

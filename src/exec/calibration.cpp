@@ -1,0 +1,21 @@
+#include "exec/calibration.hpp"
+
+namespace tilesparse {
+namespace {
+
+PlannerCalibration& global_calibration() {
+  static PlannerCalibration calibration;
+  return calibration;
+}
+
+}  // namespace
+
+const PlannerCalibration& planner_calibration() noexcept {
+  return global_calibration();
+}
+
+void set_planner_calibration(const PlannerCalibration& calibration) {
+  global_calibration() = calibration;
+}
+
+}  // namespace tilesparse

@@ -1,0 +1,51 @@
+#pragma once
+// PlannerCalibration — measured cost-model constants for the format
+// planner.
+//
+// The planner charges each candidate format a MAC count scaled by a
+// per-format efficiency factor plus a weight-traffic term.  The seed
+// shipped those factors as hard-coded guesses (CSR gather 8x, int8
+// 0.5x); this struct makes them data, populated on a given host by the
+// `calibrate_planner` bench tool (which times the real kernels and
+// writes the result as JSON via io/serialize).  A process-wide default
+// is installed with set_planner_calibration(); rank_formats() consults
+// it unless the caller passes an explicit override.
+
+#include <string>
+
+namespace tilesparse {
+
+struct PlannerCalibration {
+  /// Cost of one CSR gather/scatter MAC relative to one dense-panel
+  /// fp32 MAC.  Default mirrors the paper's cuSparse-vs-tensor-core
+  /// efficiency gap (device model 0.045 vs ~0.4).
+  double csr_mac_penalty = 8.0;
+  /// Cost of one TW masked-panel MAC relative to dense.  ~1 by design
+  /// (TW keeps the dense substrate), but measured on this host it also
+  /// absorbs pack/scatter overhead.
+  double tw_mac_penalty = 1.0;
+  /// Cost of one int8 MAC relative to one fp32 MAC (narrower
+  /// arithmetic; < 1 when the int8 kernel outruns fp32).
+  double int8_mac_discount = 0.5;
+  /// Weight-traffic term: MAC-equivalents charged per packed byte, so
+  /// the memory footprint breaks ties when the batch is small.
+  double macs_per_byte = 4.0;
+  /// Measured dense fp32 rate (GFLOP/s) the ratios were derived from;
+  /// 0 means the constants are the uncalibrated defaults.
+  double dense_gflops = 0.0;
+  /// Free-form provenance tag ("hostname, date, shape") written by the
+  /// calibration tool.
+  std::string source;
+
+  bool measured() const noexcept { return dense_gflops > 0.0; }
+};
+
+/// Process-wide calibration the planner uses by default.  Starts as the
+/// uncalibrated constants above.
+const PlannerCalibration& planner_calibration() noexcept;
+
+/// Installs `calibration` as the process-wide default.  Thread-
+/// compatible: expected at startup, before concurrent planning begins.
+void set_planner_calibration(const PlannerCalibration& calibration);
+
+}  // namespace tilesparse

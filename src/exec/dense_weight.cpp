@@ -29,9 +29,11 @@ void DenseWeight::accumulate(const ExecContext& ctx, const MatrixF& a,
     for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] += q.data()[i];
     return;
   }
+  std::call_once(packed_b_once_,
+                 [this] { packed_b_ = pack_dense_b(weights_, config_); });
   GemmConfig config = config_;
   config.fp16_inputs = ctx.fp16();
-  dense_gemm(a, weights_, c, /*alpha=*/1.0f, /*beta=*/1.0f, config);
+  dense_gemm(a, packed_b_, c, /*alpha=*/1.0f, /*beta=*/1.0f, config);
 }
 
 }  // namespace tilesparse

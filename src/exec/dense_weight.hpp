@@ -31,6 +31,12 @@ class DenseWeight final : public PackedWeight {
  private:
   MatrixF weights_;  ///< K x N
   GemmConfig config_;
+  // Micro-kernel B panels, built once on first fp32/fp16 execution
+  // (weights are immutable after packing; cached so serving does not
+  // repack K x N every call — at small batch the repack pass costs as
+  // much as the compute).
+  mutable PackedDenseB packed_b_;
+  mutable std::once_flag packed_b_once_;
   // int8 weight copy, built once on first int8 execution (weights are
   // immutable after packing; cached so serving does not re-quantise
   // K x N every call).

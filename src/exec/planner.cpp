@@ -8,18 +8,9 @@
 namespace tilesparse {
 namespace {
 
-// Gather/scatter MACs execute at a fraction of the tiled-panel rate on
-// every substrate we model; 8x is the round CPU-side analogue of the
-// paper's cuSparse-vs-tensor-core efficiency gap.
-constexpr double kCsrMacPenalty = 8.0;
-// int8 arithmetic is twice as narrow as fp32.
-constexpr double kInt8MacDiscount = 0.5;
-// Weight-traffic term: MAC-equivalents charged per packed byte, so the
-// memory footprint breaks ties when the batch is small.
-constexpr double kMacsPerByte = 4.0;
-
-double traffic_cost(double macs, std::size_t bytes) {
-  return macs + kMacsPerByte * static_cast<double>(bytes);
+double traffic_cost(const PlannerCalibration& calib, double macs,
+                    std::size_t bytes) {
+  return macs + calib.macs_per_byte * static_cast<double>(bytes);
 }
 
 void pattern_storage(const TilePattern& pattern, std::size_t weight_bytes,
@@ -39,6 +30,8 @@ void pattern_storage(const TilePattern& pattern, std::size_t weight_bytes,
 std::vector<FormatChoice> rank_formats(const MatrixF& weights,
                                        const TilePattern* pattern,
                                        const PlannerOptions& options) {
+  const PlannerCalibration& calib =
+      options.calibration ? *options.calibration : planner_calibration();
   const double m = static_cast<double>(options.m);
   const double k = static_cast<double>(weights.rows());
   const double n = static_cast<double>(weights.cols());
@@ -48,7 +41,7 @@ std::vector<FormatChoice> rank_formats(const MatrixF& weights,
   dense.format = "dense";
   dense.macs = m * k * n;
   dense.bytes = weights.size() * sizeof(float);
-  dense.cost = traffic_cost(dense.macs, dense.bytes);
+  dense.cost = traffic_cost(calib, dense.macs, dense.bytes);
   choices.push_back(dense);
 
   FormatChoice csr;
@@ -57,7 +50,7 @@ std::vector<FormatChoice> rank_formats(const MatrixF& weights,
   csr.macs = m * static_cast<double>(nnz);
   csr.bytes = nnz * (sizeof(float) + sizeof(std::int32_t)) +
               (weights.rows() + 1) * sizeof(std::int64_t);
-  csr.cost = traffic_cost(kCsrMacPenalty * csr.macs, csr.bytes);
+  csr.cost = traffic_cost(calib, calib.csr_mac_penalty * csr.macs, csr.bytes);
   choices.push_back(csr);
 
   if (pattern) {
@@ -65,7 +58,7 @@ std::vector<FormatChoice> rank_formats(const MatrixF& weights,
     tw.format = "tw";
     tw.macs = pattern->macs(options.m);
     pattern_storage(*pattern, sizeof(float), tw.bytes);
-    tw.cost = traffic_cost(tw.macs, tw.bytes);
+    tw.cost = traffic_cost(calib, calib.tw_mac_penalty * tw.macs, tw.bytes);
     choices.push_back(tw);
 
     if (options.allow_int8) {
@@ -73,7 +66,7 @@ std::vector<FormatChoice> rank_formats(const MatrixF& weights,
       q.format = "tw-int8";
       q.macs = tw.macs;
       pattern_storage(*pattern, sizeof(std::int8_t), q.bytes);
-      q.cost = traffic_cost(kInt8MacDiscount * q.macs, q.bytes);
+      q.cost = traffic_cost(calib, calib.int8_mac_discount * q.macs, q.bytes);
       choices.push_back(q);
     }
   }

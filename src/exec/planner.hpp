@@ -4,13 +4,16 @@
 //
 // The cost model is deliberately simple (this is a packing-time
 // heuristic, not the device simulator in src/sim): estimated cost =
-// effective MACs for a reference batch + a weight-traffic term.  CSR
-// MACs are penalised by a gather/scatter factor mirroring the
-// cuSparse-vs-tensor-core efficiency gap the paper measures (device
-// model: csr_spmm_efficiency = 0.045 vs dense tensor-core ~0.4), which
-// is why unstructured CSR only wins at extreme sparsity.  int8 halves
-// the per-MAC cost (narrower arithmetic), available when the caller
-// allows the accuracy trade.
+// effective MACs for a reference batch + a weight-traffic term, with
+// per-format MAC efficiency factors taken from a PlannerCalibration.
+// Out of the box the calibration holds defaults mirroring the paper's
+// measured gaps (CSR gather 8x slower than tiled-panel MACs — the
+// cuSparse-vs-tensor-core efficiency gap, device model
+// csr_spmm_efficiency = 0.045 vs dense tensor-core ~0.4; int8 at half
+// the per-MAC cost).  On a real host, run the `calibrate_planner` bench
+// tool: it times the actual kernels, derives the ratios, and writes a
+// JSON artifact that io/serialize loads back so rank_formats() reflects
+// what this machine measures rather than what we guessed.
 
 #include <memory>
 #include <string>
@@ -18,6 +21,7 @@
 
 #include "core/tile_pattern.hpp"
 #include "exec/backend_registry.hpp"
+#include "exec/calibration.hpp"
 #include "exec/packed_weight.hpp"
 #include "tensor/matrix.hpp"
 
@@ -29,6 +33,10 @@ struct PlannerOptions {
   /// Admit "tw-int8" as a candidate (an accuracy trade the caller must
   /// opt into).
   bool allow_int8 = false;
+  /// Cost-model constants; null uses the process-wide
+  /// planner_calibration() (measured when the host ran
+  /// calibrate_planner, paper-derived defaults otherwise).
+  const PlannerCalibration* calibration = nullptr;
 };
 
 struct FormatChoice {

@@ -2,59 +2,38 @@
 
 #include <algorithm>
 #include <cassert>
-#include <vector>
 
-#include "tensor/half.hpp"
+#include "gemm/micro_kernel.hpp"
 
 namespace tilesparse {
-namespace {
 
-// Register micro-tile: 4 rows x 16 columns of C per innermost iteration.
-constexpr std::size_t kMr = 4;
-constexpr std::size_t kNr = 16;
-
-// Computes a (rows x cols) block of C (rows <= kMr, cols <= kNr) from a
-// packed A panel (kc x kMr column-major-ish: a_panel[k*kMr + r]) and the
-// untransformed B rows.
-void micro_kernel(std::size_t kc, const float* a_panel, const float* b,
-                  std::size_t ldb, float* c, std::size_t ldc, std::size_t rows,
-                  std::size_t cols) {
-  float acc[kMr][kNr] = {};
-  for (std::size_t k = 0; k < kc; ++k) {
-    const float* brow = b + k * ldb;
-    for (std::size_t r = 0; r < kMr; ++r) {
-      const float a = a_panel[k * kMr + r];
-      for (std::size_t j = 0; j < kNr; ++j) acc[r][j] += a * brow[j];
+PackedDenseB pack_dense_b(const MatrixF& b, const GemmConfig& config) {
+  PackedDenseB packed;
+  packed.k = b.rows();
+  packed.n = b.cols();
+  packed.kc = std::max<std::size_t>(1, config.kc);
+  const std::size_t strips = (packed.n + kNr - 1) / kNr;
+  const std::size_t k_blocks = (packed.k + packed.kc - 1) / packed.kc;
+  packed.panels.resize(packed.k * strips * kNr);
+  for (std::size_t kb = 0; kb < k_blocks; ++kb) {
+    const std::size_t k0 = kb * packed.kc;
+    const std::size_t klen = std::min(packed.kc, packed.k - k0);
+    float* block_base = packed.panels.data() + k0 * strips * kNr;
+    for (std::size_t s = 0; s < strips; ++s) {
+      const std::size_t j0 = s * kNr;
+      pack_b_panel_f32(b.data() + k0 * packed.n + j0, packed.n, klen,
+                       std::min(kNr, packed.n - j0),
+                       block_base + s * klen * kNr);
     }
   }
-  for (std::size_t r = 0; r < rows; ++r)
-    for (std::size_t j = 0; j < cols; ++j) c[r * ldc + j] += acc[r][j];
+  return packed;
 }
 
-// Edge-safe kernel for ragged N tails (cols < kNr handled by caller copy,
-// here we just guard loads/stores).
-void micro_kernel_edge(std::size_t kc, const float* a_panel, const float* b,
-                       std::size_t ldb, float* c, std::size_t ldc,
-                       std::size_t rows, std::size_t cols) {
-  float acc[kMr][kNr] = {};
-  for (std::size_t k = 0; k < kc; ++k) {
-    const float* brow = b + k * ldb;
-    for (std::size_t r = 0; r < rows; ++r) {
-      const float a = a_panel[k * kMr + r];
-      for (std::size_t j = 0; j < cols; ++j) acc[r][j] += a * brow[j];
-    }
-  }
-  for (std::size_t r = 0; r < rows; ++r)
-    for (std::size_t j = 0; j < cols; ++j) c[r * ldc + j] += acc[r][j];
-}
-
-}  // namespace
-
-void dense_gemm(const MatrixF& a, const MatrixF& b, MatrixF& c, float alpha,
-                float beta, const GemmConfig& config) {
-  assert(a.cols() == b.rows());
-  assert(c.rows() == a.rows() && c.cols() == b.cols());
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+void dense_gemm(const MatrixF& a, const PackedDenseB& b, MatrixF& c,
+                float alpha, float beta, const GemmConfig& config) {
+  assert(a.cols() == b.k);
+  assert(c.rows() == a.rows() && c.cols() == b.n);
+  const std::size_t m = a.rows(), k = b.k, n = b.n;
 
   if (beta == 0.0f) {
     c.fill(0.0f);
@@ -64,39 +43,45 @@ void dense_gemm(const MatrixF& a, const MatrixF& b, MatrixF& c, float alpha,
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
 
   const std::size_t mc = std::max<std::size_t>(kMr, config.mc);
-  const std::size_t kcap = std::max<std::size_t>(1, config.kc);
+  const std::size_t kcap = b.kc;
   const std::size_t row_blocks = (m + mc - 1) / mc;
+  const std::size_t k_blocks = (k + kcap - 1) / kcap;
+  const std::size_t strips = (n + kNr - 1) / kNr;
 
 #pragma omp parallel for schedule(dynamic)
   for (std::size_t rb = 0; rb < row_blocks; ++rb) {
     const std::size_t i0 = rb * mc;
     const std::size_t i1 = std::min(m, i0 + mc);
-    std::vector<float> a_panel(kcap * kMr);
+    // Per-thread scratch: no heap allocation inside the parallel loop.
+    GemmScratch& scratch = thread_gemm_scratch();
+    scratch.a_f32.resize(kcap * kMr);
+    float* a_panel = scratch.a_f32.data();
 
-    for (std::size_t k0 = 0; k0 < k; k0 += kcap) {
-      const std::size_t kb = std::min(kcap, k - k0);
+    for (std::size_t kb = 0; kb < k_blocks; ++kb) {
+      const std::size_t k0 = kb * kcap;
+      const std::size_t klen = std::min(kcap, k - k0);
+      const float* block_base = b.panels.data() + k0 * strips * kNr;
       for (std::size_t i = i0; i < i1; i += kMr) {
         const std::size_t rows = std::min(kMr, i1 - i);
-        // Pack the A micro-panel: a_panel[kk*kMr + r] = alpha * A(i+r, k0+kk).
-        for (std::size_t kk = 0; kk < kb; ++kk) {
-          for (std::size_t r = 0; r < kMr; ++r) {
-            float v = (r < rows) ? a(i + r, k0 + kk) : 0.0f;
-            if (config.fp16_inputs) v = round_to_half(v);
-            a_panel[kk * kMr + r] = alpha * v;
-          }
-        }
-        const float* bbase = b.data() + k0 * n;
-        std::size_t j = 0;
-        for (; j + kNr <= n; j += kNr) {
-          micro_kernel(kb, a_panel.data(), bbase + j, n, &c(i, j), n, rows, kNr);
-        }
-        if (j < n) {
-          micro_kernel_edge(kb, a_panel.data(), bbase + j, n, &c(i, j), n, rows,
-                            n - j);
+        pack_a_panel_f32(a.data() + i * k + k0, k, rows, klen, alpha,
+                         config.fp16_inputs, a_panel);
+        for (std::size_t s = 0; s < strips; ++s) {
+          const std::size_t j0 = s * kNr;
+          micro_kernel_f32(klen, a_panel, block_base + s * klen * kNr,
+                           &c(i, j0), n, rows, std::min(kNr, n - j0));
         }
       }
     }
   }
+}
+
+void dense_gemm(const MatrixF& a, const MatrixF& b, MatrixF& c, float alpha,
+                float beta, const GemmConfig& config) {
+  assert(a.cols() == b.rows());
+  assert(c.rows() == a.rows() && c.cols() == b.cols());
+  // One-shot path: pack B here (an O(K*N) pass amortised over the
+  // O(M*N*K) compute).  Steady-state callers hold a PackedDenseB.
+  dense_gemm(a, pack_dense_b(b, config), c, alpha, beta, config);
 }
 
 MatrixF matmul(const MatrixF& a, const MatrixF& b, const GemmConfig& config) {

@@ -5,7 +5,10 @@
 // The kernel mirrors the three-level tiling CUTLASS uses (paper Sec. VI):
 //   * outer M/N blocking  -> "thread block tile" (one per pool worker/SM)
 //   * K blocking          -> "warp tile" panel resident in L1/L2
-//   * 4x16 register tile  -> "thread fragment" kept in registers
+//   * 6x16 register tile  -> "thread fragment" kept in registers
+//     (the shared SIMD core in gemm/micro_kernel.hpp, AVX2/FMA with a
+//     portable fallback — the same inner kernel the masked TW/TEW and
+//     int8 paths execute)
 //
 // Output row-blocks are annotated with `#pragma omp parallel for`,
 // matching the one-output-tile-per-SM mapping the paper builds its
@@ -18,6 +21,7 @@
 // alpha/beta + numerics handling shared by all weight formats.
 
 #include <cstddef>
+#include <vector>
 
 #include "tensor/matrix.hpp"
 
@@ -26,11 +30,33 @@ namespace tilesparse {
 struct GemmConfig {
   std::size_t mc = 64;   ///< rows of A packed per panel
   std::size_t kc = 256;  ///< K-extent of a panel
-  bool fp16_inputs = false;  ///< round A/B through binary16 (tensor-core numerics)
+  bool fp16_inputs = false;  ///< round A inputs through binary16 (tensor-core numerics)
 };
+
+/// B pre-packed into the micro-kernel's per-(K-block, strip) panel
+/// layout.  B is typically a static weight matrix: pack it once at
+/// weight-pack time (DenseWeight does) and the repack pass — which at
+/// small batch costs as much as the compute — drops out of every
+/// matmul call.  Panels are independent of alpha/beta/fp16 (only A is
+/// rounded), so one PackedDenseB serves every ExecContext.
+struct PackedDenseB {
+  std::vector<float> panels;
+  std::size_t k = 0;   ///< B rows
+  std::size_t n = 0;   ///< B cols
+  std::size_t kc = 0;  ///< K-extent each block was packed with
+};
+
+/// Packs B(KxN) for dense_gemm with the given K blocking.
+PackedDenseB pack_dense_b(const MatrixF& b, const GemmConfig& config = {});
 
 /// C = alpha * A(MxK) * B(KxN) + beta * C.  C must be MxN.
 void dense_gemm(const MatrixF& a, const MatrixF& b, MatrixF& c,
+                float alpha = 1.0f, float beta = 0.0f,
+                const GemmConfig& config = {});
+
+/// Same, with B already packed (config.kc is ignored; the panels' own
+/// blocking is used).
+void dense_gemm(const MatrixF& a, const PackedDenseB& b, MatrixF& c,
                 float alpha = 1.0f, float beta = 0.0f,
                 const GemmConfig& config = {});
 

@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <vector>
 
-#include "tensor/half.hpp"
+#include "gemm/micro_kernel.hpp"
 
 namespace tilesparse {
 
@@ -35,41 +34,67 @@ void masked_gemm_packed(const MatrixF& a, const MaskedTile& tile, MatrixF& c,
   const std::size_t kt = tile.kept_rows.size();
   const std::size_t wt = tile.out_cols.size();
   assert(tile.weights.rows() == kt && tile.weights.cols() == wt);
-  if (kt == 0 || wt == 0) return;
+  if (m == 0 || kt == 0 || wt == 0) return;
 
-  constexpr std::size_t kRowBlock = 32;
-  std::vector<float> panel(kRowBlock * kt);
-  std::vector<float> acc_block(kRowBlock * wt);
+  const std::size_t strips = (wt + kNr - 1) / kNr;
+  const std::size_t wt_round = strips * kNr;
+  constexpr std::size_t kKc = 256;   // K panel resident in L1/L2
+  constexpr std::size_t kMc = 96;    // M chunk: accumulator stays cache
+                                     // resident and scratch stays bounded
+  const std::size_t kcap = std::min(kKc, kt);
+  const std::size_t mcap = std::min(kMc, m);
 
-  for (std::size_t i0 = 0; i0 < m; i0 += kRowBlock) {
-    const std::size_t rows = std::min(kRowBlock, m - i0);
-    // Pack: panel[r * kt + t] = A(i0 + r, kept_rows[t]).  After packing,
-    // the inner loops are fully contiguous — this is the CPU equivalent
-    // of the transpose trick restoring coalesced loads.
-    for (std::size_t r = 0; r < rows; ++r) {
-      const float* arow = a.data() + (i0 + r) * a.cols();
-      float* prow = panel.data() + r * kt;
-      for (std::size_t t = 0; t < kt; ++t) {
-        float v = arow[tile.kept_rows[t]];
-        prow[t] = fp16_inputs ? round_to_half(v) : v;
+  // Per-thread scratch: masked_gemm_all runs one tile per worker, and
+  // the seed version allocated panels per row block inside that loop.
+  GemmScratch& scratch = thread_gemm_scratch();
+  scratch.a_f32.resize(kcap * kMr);
+  scratch.b_f32.resize(kt * wt_round);
+  scratch.acc_f32.resize(mcap * wt_round);
+  float* a_panel = scratch.a_f32.data();
+  float* b_panels = scratch.b_f32.data();
+  float* acc = scratch.acc_f32.data();
+
+  // Pack the compacted tile weights once per call: per (K-block, strip)
+  // panels, kNr-wide, zero-padded — after packing, the inner loops are
+  // the same register-tiled kernel dense GEMM runs (the CPU equivalent
+  // of the transpose trick restoring coalesced loads).
+  const std::size_t k_blocks = (kt + kcap - 1) / kcap;
+  for (std::size_t kb = 0; kb < k_blocks; ++kb) {
+    const std::size_t k0 = kb * kcap;
+    const std::size_t klen = std::min(kcap, kt - k0);
+    float* block_base = b_panels + k0 * wt_round;
+    for (std::size_t s = 0; s < strips; ++s) {
+      const std::size_t j0 = s * kNr;
+      pack_b_panel_f32(tile.weights.data() + k0 * wt + j0, wt, klen,
+                       std::min(kNr, wt - j0), block_base + s * klen * kNr);
+    }
+  }
+
+  for (std::size_t i0 = 0; i0 < m; i0 += mcap) {
+    const std::size_t mlen = std::min(mcap, m - i0);
+    std::fill_n(acc, mlen * wt_round, 0.0f);
+    for (std::size_t kb = 0; kb < k_blocks; ++kb) {
+      const std::size_t k0 = kb * kcap;
+      const std::size_t klen = std::min(kcap, kt - k0);
+      const float* block_base = b_panels + k0 * wt_round;
+      for (std::size_t i = 0; i < mlen; i += kMr) {
+        const std::size_t rows = std::min(kMr, mlen - i);
+        // Gathered A micro-panel: column kk reads A column kept_rows[kk].
+        pack_a_panel_gather_f32(a.data() + (i0 + i) * a.cols(), a.cols(),
+                                rows, tile.kept_rows.data() + k0, klen,
+                                /*alpha=*/1.0f, fp16_inputs, a_panel);
+        for (std::size_t s = 0; s < strips; ++s) {
+          micro_kernel_f32(klen, a_panel, block_base + s * klen * kNr,
+                           acc + i * wt_round + s * kNr, wt_round, rows, kNr);
+        }
       }
     }
-    std::fill(acc_block.begin(), acc_block.begin() + rows * wt, 0.0f);
-    for (std::size_t r = 0; r < rows; ++r) {
-      const float* prow = panel.data() + r * kt;
-      float* arow = acc_block.data() + r * wt;
-      for (std::size_t t = 0; t < kt; ++t) {
-        const float av = prow[t];
-        if (av == 0.0f) continue;
-        const float* wrow = tile.weights.data() + t * wt;
-        for (std::size_t j = 0; j < wt; ++j) arow[j] += av * wrow[j];
-      }
-    }
-    for (std::size_t r = 0; r < rows; ++r) {
-      const float* arow = acc_block.data() + r * wt;
-      float* crow = c.data() + (i0 + r) * c.cols();
+    // Scatter the chunk's accumulator into the tile's surviving C columns.
+    for (std::size_t i = 0; i < mlen; ++i) {
+      const float* arow = acc + i * wt_round;
+      float* crow = c.data() + (i0 + i) * c.cols();
       for (std::size_t j = 0; j < wt; ++j)
-        crow[tile.out_cols[j]] += arow[j];
+        crow[static_cast<std::size_t>(tile.out_cols[j])] += arow[j];
     }
   }
 }

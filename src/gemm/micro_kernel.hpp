@@ -1,0 +1,144 @@
+#pragma once
+// Shared register-tiled micro-kernel core for every PackedWeight
+// execution path.
+//
+// Before this existed, each backend funnelled into its own innermost
+// loop family (a scalar 4x16 kernel in dense_gemm, hand-rolled
+// accumulator loops in masked_gemm / quant_tw_gemm).  The paper's
+// argument is that tile-wise sparsity wins *because* the dense
+// execution substrate stays fast; this header is that substrate: one
+// blocked, B-panel-packed, SIMD-vectorized inner kernel that
+// dense_gemm, the TW/TEW masked paths and the int8 TW path all share.
+//
+// Two kernels are exposed:
+//  * fp32:       C(rows x cols) += A_panel^T * B_panel (FMA)
+//  * int8->int32 with fused dequant: C += scale * (A_panel^T * B_panel)
+//    accumulated in int32 (the tensor-core IMMA analogue)
+//
+// Dispatch is resolved at runtime: an AVX2+FMA implementation via
+// intrinsics (compiled with function-level target attributes, so the
+// rest of the library keeps its baseline ISA) with a portable
+// `#pragma omp simd` scalar fallback.  set_simd_level() lets tests and
+// ablations force the fallback on AVX2 hosts.
+//
+// Panel layouts (packed by the helpers below, zero-padded to full
+// micro-tile size so kernels never branch on ragged edges):
+//  * fp32 A panel: a_panel[kk * kMr + r], kc x kMr
+//  * fp32 B panel: b_panel[kk * kNr + j], kc x kNr
+//  * int8 A panel: a_panel[kk * kMr + r], kc rounded up to even
+//  * int8 B panel: K-pair interleaved, b_panel[(kk/2)*2*kNr + j*2 + (kk&1)]
+//    — pairs of K rows sit adjacent per column so the AVX2 kernel can
+//    consume them with a single 16-bit multiply-add (vpmaddwd).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tilesparse {
+
+/// Register micro-tile: 6 rows x 16 columns of C per innermost
+/// iteration (12 of 16 ymm registers hold C fragments on AVX2).
+inline constexpr std::size_t kMr = 6;
+inline constexpr std::size_t kNr = 16;
+
+/// int8 kernels consume K two rows at a time (16-bit multiply-add).
+inline constexpr std::size_t kKPair = 2;
+
+enum class SimdLevel {
+  kScalar = 0,  ///< portable `#pragma omp simd` fallback
+  kAvx2 = 1,    ///< AVX2 + FMA intrinsics
+};
+
+/// Best level this host supports (detected once, cached).
+SimdLevel detected_simd_level() noexcept;
+
+/// Level the kernels currently dispatch to (defaults to detected).
+SimdLevel active_simd_level() noexcept;
+
+/// Forces dispatch to `level` (clamped to detected_simd_level()); used
+/// by tests and the scalar-vs-SIMD ablation.  Returns the level now
+/// active.
+SimdLevel set_simd_level(SimdLevel level) noexcept;
+
+inline const char* simd_level_name(SimdLevel level) noexcept {
+  return level == SimdLevel::kAvx2 ? "avx2" : "scalar";
+}
+
+// ------------------------------------------------------------- kernels
+
+/// fp32 inner kernel: C(rows x cols) += A_panel^T * B_panel.
+/// `a_panel` is kc x kMr (layout above, rows beyond `rows` zero),
+/// `b_panel` is kc x kNr (cols beyond `cols` zero), `c` is row-major
+/// with leading dimension `ldc`; only the rows x cols corner is
+/// touched.  rows <= kMr, cols <= kNr.
+void micro_kernel_f32(std::size_t kc, const float* a_panel,
+                      const float* b_panel, float* c, std::size_t ldc,
+                      std::size_t rows, std::size_t cols);
+
+/// int8 inner kernel with int32 accumulation and fused dequant:
+/// C(rows x cols) += scale * (A_panel^T * B_panel).  Panels use the
+/// int8 layouts above (kc zero-padded to even).  The full K extent is
+/// expected in one call (int8 panels are small enough to stay cache
+/// resident), so the int32 accumulators live entirely in registers and
+/// quantisation scaling happens exactly once per output element.
+void micro_kernel_i8(std::size_t kc, const std::int8_t* a_panel,
+                     const std::int8_t* b_panel, float scale, float* c,
+                     std::size_t ldc, std::size_t rows, std::size_t cols);
+
+// ------------------------------------------------------- panel packing
+
+/// Rounds kc up to the int8 K-pair granularity.
+inline constexpr std::size_t round_up_pair(std::size_t kc) noexcept {
+  return (kc + (kKPair - 1)) & ~(kKPair - 1);
+}
+
+/// Packs one kNr-wide strip of B: out[kk*kNr + j] = b[kk*ldb + j] for
+/// j < cols, zero beyond.
+void pack_b_panel_f32(const float* b, std::size_t ldb, std::size_t kc,
+                      std::size_t cols, float* out);
+
+/// int8 strip, K-pair interleaved (layout above), kc padded to even.
+void pack_b_panel_i8(const std::int8_t* b, std::size_t ldb, std::size_t kc,
+                     std::size_t cols, std::int8_t* out);
+
+/// Packs an fp32 A micro-panel: out[kk*kMr + r] = alpha * A(row0 + r,
+/// k0 + kk) for r < rows, zero-padded to kMr; optionally rounds values
+/// through binary16 first (tensor-core input numerics).
+void pack_a_panel_f32(const float* a, std::size_t lda, std::size_t rows,
+                      std::size_t kc, float alpha, bool fp16_inputs,
+                      float* out);
+
+/// Gathering variant for the masked (TW) paths: column kk of the panel
+/// reads A column col_idx[kk] — the packing step that restores
+/// coalesced access (paper Fig. 7-2).
+void pack_a_panel_gather_f32(const float* a, std::size_t lda,
+                             std::size_t rows, const std::int32_t* col_idx,
+                             std::size_t kc, float alpha, bool fp16_inputs,
+                             float* out);
+
+/// int8 A micro-panel (dense and gathered), kc padded to even.
+void pack_a_panel_i8(const std::int8_t* a, std::size_t lda, std::size_t rows,
+                     std::size_t kc, std::int8_t* out);
+void pack_a_panel_gather_i8(const std::int8_t* a, std::size_t lda,
+                            std::size_t rows, const std::int32_t* col_idx,
+                            std::size_t kc, std::int8_t* out);
+
+// ------------------------------------------------------ thread scratch
+
+/// Per-thread packing scratch.  GEMM outer loops run under
+/// `omp parallel for`; allocating panels inside the loop body puts a
+/// heap allocation on every row block (the seed kernel's a_panel bug).
+/// Each worker instead reuses these buffers across blocks and across
+/// GEMM calls; resize() is a no-op once the high-water mark is reached.
+struct GemmScratch {
+  std::vector<float> a_f32;        ///< packed A micro-panels
+  std::vector<float> b_f32;        ///< packed B panels
+  std::vector<float> acc_f32;      ///< dense accumulator before scatter
+  std::vector<std::int8_t> a_i8;   ///< packed int8 A micro-panels
+  std::vector<std::int8_t> b_i8;   ///< packed int8 B panels
+};
+
+/// The calling thread's scratch (thread_local storage).
+GemmScratch& thread_gemm_scratch();
+
+}  // namespace tilesparse

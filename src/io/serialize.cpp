@@ -1,9 +1,11 @@
 #include "io/serialize.hpp"
 
+#include <cctype>
 #include <cstdint>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace tilesparse {
@@ -161,6 +163,82 @@ Csr read_csr(std::istream& in) {
   return m;
 }
 
+void write_calibration_json(std::ostream& out,
+                            const PlannerCalibration& calibration) {
+  // Escape-free on purpose: `source` is a provenance tag we write
+  // ourselves (hostname/date/shape); quotes and backslashes are
+  // dropped rather than escaped.
+  std::string source;
+  for (char ch : calibration.source)
+    if (ch != '"' && ch != '\\' && ch != '\n') source += ch;
+  out << "{\n"
+      << "  \"csr_mac_penalty\": " << calibration.csr_mac_penalty << ",\n"
+      << "  \"tw_mac_penalty\": " << calibration.tw_mac_penalty << ",\n"
+      << "  \"int8_mac_discount\": " << calibration.int8_mac_discount << ",\n"
+      << "  \"macs_per_byte\": " << calibration.macs_per_byte << ",\n"
+      << "  \"dense_gflops\": " << calibration.dense_gflops << ",\n"
+      << "  \"source\": \"" << source << "\"\n"
+      << "}\n";
+}
+
+namespace {
+
+// Minimal flat-object JSON scan: finds "key": and parses the value
+// (number or string).  Enough for the calibration artifact; not a
+// general JSON parser.
+bool json_number(const std::string& text, const std::string& key,
+                 double& out) {
+  const std::string needle = "\"" + key + "\"";
+  auto pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  pos = text.find(':', pos + needle.size());
+  if (pos == std::string::npos) return false;
+  ++pos;
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])))
+    ++pos;
+  try {
+    out = std::stod(text.substr(pos));
+  } catch (const std::exception&) {
+    throw std::runtime_error("tilesparse::io: bad calibration value for '" +
+                             key + "'");
+  }
+  return true;
+}
+
+bool json_string(const std::string& text, const std::string& key,
+                 std::string& out) {
+  const std::string needle = "\"" + key + "\"";
+  auto pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  pos = text.find(':', pos + needle.size());
+  if (pos == std::string::npos) return false;
+  pos = text.find('"', pos);
+  if (pos == std::string::npos) return false;
+  const auto end = text.find('"', pos + 1);
+  if (end == std::string::npos) return false;
+  out = text.substr(pos + 1, end - pos - 1);
+  return true;
+}
+
+}  // namespace
+
+PlannerCalibration read_calibration_json(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  if (text.find('{') == std::string::npos)
+    throw std::runtime_error("tilesparse::io: calibration is not JSON");
+  PlannerCalibration calibration;
+  json_number(text, "csr_mac_penalty", calibration.csr_mac_penalty);
+  json_number(text, "tw_mac_penalty", calibration.tw_mac_penalty);
+  json_number(text, "int8_mac_discount", calibration.int8_mac_discount);
+  json_number(text, "macs_per_byte", calibration.macs_per_byte);
+  json_number(text, "dense_gflops", calibration.dense_gflops);
+  json_string(text, "source", calibration.source);
+  return calibration;
+}
+
 namespace {
 std::ofstream open_out(const std::string& path) {
   std::ofstream out(path, std::ios::binary);
@@ -189,6 +267,20 @@ void save_tiles(const std::string& path, const std::vector<MaskedTile>& tiles) {
 std::vector<MaskedTile> load_tiles(const std::string& path) {
   auto in = open_in(path);
   return read_tiles(in);
+}
+void save_calibration(const std::string& path,
+                      const PlannerCalibration& calibration) {
+  auto out = open_out(path);
+  write_calibration_json(out, calibration);
+}
+PlannerCalibration load_calibration(const std::string& path) {
+  auto in = open_in(path);
+  return read_calibration_json(in);
+}
+PlannerCalibration load_planner_calibration(const std::string& path) {
+  const PlannerCalibration calibration = load_calibration(path);
+  set_planner_calibration(calibration);
+  return calibration;
 }
 
 }  // namespace tilesparse

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/tile_pattern.hpp"
+#include "exec/calibration.hpp"
 #include "gemm/masked_gemm.hpp"
 #include "sparse/csr.hpp"
 #include "tensor/matrix.hpp"
@@ -29,10 +30,24 @@ std::vector<MaskedTile> read_tiles(std::istream& in);
 void write_csr(std::ostream& out, const Csr& m);
 Csr read_csr(std::istream& in);
 
+// Planner calibration — JSON, not the binary container: the artifact
+// is meant to be human-inspected and diffed across hosts.  Unknown keys
+// are ignored on read; missing keys keep their defaults.
+void write_calibration_json(std::ostream& out,
+                            const PlannerCalibration& calibration);
+PlannerCalibration read_calibration_json(std::istream& in);
+
 // File convenience wrappers.
 void save_pattern(const std::string& path, const TilePattern& pattern);
 TilePattern load_pattern(const std::string& path);
 void save_tiles(const std::string& path, const std::vector<MaskedTile>& tiles);
 std::vector<MaskedTile> load_tiles(const std::string& path);
+void save_calibration(const std::string& path,
+                      const PlannerCalibration& calibration);
+PlannerCalibration load_calibration(const std::string& path);
+
+/// Loads `path` and installs it as the process-wide planner
+/// calibration (set_planner_calibration).  Returns the loaded values.
+PlannerCalibration load_planner_calibration(const std::string& path);
 
 }  // namespace tilesparse

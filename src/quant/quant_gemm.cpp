@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "gemm/micro_kernel.hpp"
+
 namespace tilesparse {
 
 std::vector<QuantMaskedTile> quantize_tiles(
@@ -28,21 +30,35 @@ MatrixF quant_matmul(const QuantMatrix& a, const QuantMatrix& b) {
   const std::size_t k = a.values.cols();
   const std::size_t n = b.values.cols();
   MatrixF c(m, n);
+  if (m == 0 || k == 0 || n == 0) return c;
   const float out_scale = a.scale * b.scale;
+
+  // int8 panels are 4x smaller than fp32, so the whole K extent stays
+  // cache resident per strip: one kernel call covers all of K with the
+  // int32 accumulators entirely in registers (fused dequant on store).
+  const std::size_t k_even = round_up_pair(k);
+  const std::size_t strips = (n + kNr - 1) / kNr;
+  std::vector<std::int8_t> b_packed(k_even * strips * kNr);
+  for (std::size_t s = 0; s < strips; ++s) {
+    const std::size_t j0 = s * kNr;
+    pack_b_panel_i8(b.values.data() + j0, n, k, std::min(kNr, n - j0),
+                    b_packed.data() + s * k_even * kNr);
+  }
+
+  const std::size_t row_blocks = (m + kMr - 1) / kMr;
 #pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < m; ++i) {
-    std::vector<std::int32_t> acc(n, 0);
-    const std::int8_t* arow = a.values.data() + i * k;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const std::int32_t av = arow[kk];
-      if (av == 0) continue;
-      const std::int8_t* brow = b.values.data() + kk * n;
-      for (std::size_t j = 0; j < n; ++j)
-        acc[j] += av * static_cast<std::int32_t>(brow[j]);
+  for (std::size_t rb = 0; rb < row_blocks; ++rb) {
+    const std::size_t i = rb * kMr;
+    const std::size_t rows = std::min(kMr, m - i);
+    GemmScratch& scratch = thread_gemm_scratch();
+    scratch.a_i8.resize(k_even * kMr);
+    std::int8_t* a_panel = scratch.a_i8.data();
+    pack_a_panel_i8(a.values.data() + i * k, k, rows, k, a_panel);
+    for (std::size_t s = 0; s < strips; ++s) {
+      const std::size_t j0 = s * kNr;
+      micro_kernel_i8(k, a_panel, b_packed.data() + s * k_even * kNr,
+                      out_scale, &c(i, j0), n, rows, std::min(kNr, n - j0));
     }
-    float* crow = c.data() + i * n;
-    for (std::size_t j = 0; j < n; ++j)
-      crow[j] = static_cast<float>(acc[j]) * out_scale;
   }
   return c;
 }
@@ -75,43 +91,55 @@ void quant_tw_gemm(const MatrixF& a, const std::vector<QuantMaskedTile>& tiles,
   assert(c.rows() == a.rows());
   const QuantMatrix aq = quantize(a);
   const std::size_t m = a.rows();
-  const std::size_t n = c.cols();
+  const std::size_t k = a.cols();
 
 #pragma omp parallel for schedule(dynamic)
   for (std::size_t t = 0; t < tiles.size(); ++t) {
     const auto& tile = tiles[t];
     const std::size_t kt = tile.kept_rows.size();
     const std::size_t wt = tile.out_cols.size();
-    if (kt == 0 || wt == 0) continue;
+    if (m == 0 || kt == 0 || wt == 0) continue;
     const float out_scale = aq.scale * tile.scale;
 
-    constexpr std::size_t kRowBlock = 32;
-    std::vector<std::int8_t> panel(kRowBlock * kt);
-    std::vector<std::int32_t> acc(kRowBlock * wt);
-    for (std::size_t i0 = 0; i0 < m; i0 += kRowBlock) {
-      const std::size_t rows = std::min(kRowBlock, m - i0);
-      for (std::size_t r = 0; r < rows; ++r) {
-        const std::int8_t* arow = aq.values.data() + (i0 + r) * a.cols();
-        std::int8_t* prow = panel.data() + r * kt;
-        for (std::size_t j = 0; j < kt; ++j) prow[j] = arow[tile.kept_rows[j]];
-      }
-      std::fill(acc.begin(), acc.begin() + rows * wt, 0);
-      for (std::size_t r = 0; r < rows; ++r) {
-        const std::int8_t* prow = panel.data() + r * kt;
-        std::int32_t* arow = acc.data() + r * wt;
-        for (std::size_t j = 0; j < kt; ++j) {
-          const std::int32_t av = prow[j];
-          if (av == 0) continue;
-          const std::int8_t* wrow = tile.weights.data() + j * wt;
-          for (std::size_t x = 0; x < wt; ++x)
-            arow[x] += av * static_cast<std::int32_t>(wrow[x]);
+    const std::size_t kt_even = round_up_pair(kt);
+    const std::size_t strips = (wt + kNr - 1) / kNr;
+    const std::size_t wt_round = strips * kNr;
+    constexpr std::size_t kMc = 96;  // M chunk: accumulator stays cache
+                                     // resident and scratch stays bounded
+    const std::size_t mcap = std::min(kMc, m);
+
+    // Per-thread scratch (one tile per worker, reused across tiles).
+    GemmScratch& scratch = thread_gemm_scratch();
+    scratch.a_i8.resize(kt_even * kMr);
+    scratch.b_i8.resize(kt_even * wt_round);
+    scratch.acc_f32.resize(mcap * wt_round);
+    std::int8_t* a_panel = scratch.a_i8.data();
+    std::int8_t* b_panels = scratch.b_i8.data();
+    float* acc = scratch.acc_f32.data();
+
+    for (std::size_t s = 0; s < strips; ++s) {
+      const std::size_t j0 = s * kNr;
+      pack_b_panel_i8(tile.weights.data() + j0, wt, kt,
+                      std::min(kNr, wt - j0), b_panels + s * kt_even * kNr);
+    }
+    for (std::size_t i0 = 0; i0 < m; i0 += mcap) {
+      const std::size_t mlen = std::min(mcap, m - i0);
+      std::fill_n(acc, mlen * wt_round, 0.0f);
+      for (std::size_t i = 0; i < mlen; i += kMr) {
+        const std::size_t rows = std::min(kMr, mlen - i);
+        pack_a_panel_gather_i8(aq.values.data() + (i0 + i) * k, k, rows,
+                               tile.kept_rows.data(), kt, a_panel);
+        for (std::size_t s = 0; s < strips; ++s) {
+          micro_kernel_i8(kt, a_panel, b_panels + s * kt_even * kNr,
+                          out_scale, acc + i * wt_round + s * kNr, wt_round,
+                          rows, kNr);
         }
       }
-      for (std::size_t r = 0; r < rows; ++r) {
-        float* crow = c.data() + (i0 + r) * n;
-        const std::int32_t* arow = acc.data() + r * wt;
-        for (std::size_t x = 0; x < wt; ++x)
-          crow[tile.out_cols[x]] += static_cast<float>(arow[x]) * out_scale;
+      for (std::size_t i = 0; i < mlen; ++i) {
+        const float* arow = acc + i * wt_round;
+        float* crow = c.data() + (i0 + i) * c.cols();
+        for (std::size_t j = 0; j < wt; ++j)
+          crow[static_cast<std::size_t>(tile.out_cols[j])] += arow[j];
       }
     }
   }

@@ -13,6 +13,8 @@
 
 #include "exec/backend_registry.hpp"
 #include "exec/planner.hpp"
+#include "gemm/dense_gemm.hpp"
+#include "gemm/micro_kernel.hpp"
 #include "nn/bert_mini.hpp"
 #include "nn/nmt_mini.hpp"
 #include "nn/prune_experiment.hpp"
@@ -309,6 +311,37 @@ TEST(Planner, Int8OptInWinsWhenAllowed) {
   EXPECT_EQ(ranked.front().format, "tw-int8");
 }
 
+TEST(Planner, MeasuredCalibrationOverridesConstants) {
+  // Same setup as Int8OptInWinsWhenAllowed: under the shipped defaults
+  // tw-int8 ranks first.  A host whose measured int8 kernel is slower
+  // than fp32 (int8_mac_discount > 1, as calibrate_planner observes on
+  // AVX2 hosts where the FMA fp32 path is excellent) must flip the
+  // ranking back to "tw" — the planner now believes measurements, not
+  // guesses.
+  MatrixF w = random_matrix(64, 96, 101);
+  const TilePattern pattern =
+      tw_pattern_from_scores(magnitude_scores(w), 0.5, 16);
+  apply_pattern(pattern, w);
+  PlannerOptions options;
+  options.allow_int8 = true;
+  ASSERT_EQ(rank_formats(w, &pattern, options).front().format, "tw-int8");
+
+  PlannerCalibration measured;
+  measured.int8_mac_discount = 4.0;
+  measured.dense_gflops = 40.0;
+  options.calibration = &measured;
+  const auto ranked = rank_formats(w, &pattern, options);
+  EXPECT_EQ(ranked.front().format, "tw");
+
+  // The same calibration installed process-wide applies without the
+  // per-call override.
+  set_planner_calibration(measured);
+  options.calibration = nullptr;
+  EXPECT_EQ(rank_formats(w, &pattern, options).front().format, "tw");
+  set_planner_calibration(PlannerCalibration{});  // restore defaults
+  EXPECT_EQ(rank_formats(w, &pattern, options).front().format, "tw-int8");
+}
+
 TEST(Planner, PackWeightBuildsTheWinner) {
   MatrixF w = random_matrix(48, 64, 103);
   const TilePattern pattern =
@@ -400,6 +433,177 @@ TEST(PackedInference, EvaluateWithFormatRoundTrips) {
   // And the task is back on the dense path afterwards.
   EXPECT_NEAR(task->evaluate(), dense_metric, 1e-9);
 }
+
+// ------------------------------------------------------ micro-kernel core
+//
+// Every PackedWeight path now funnels into gemm/micro_kernel.hpp; this
+// group pins each kernel variant (scalar fallback vs SIMD, fp32 vs
+// int8) against a naive triple-loop reference at ragged shapes, and the
+// masked path's alpha/beta plumbing at shapes that are not multiples of
+// the register tile.
+
+/// Restores the previous dispatch level on scope exit.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level) : saved_(active_simd_level()) {
+    set_simd_level(level);
+  }
+  ~ScopedSimdLevel() { set_simd_level(saved_); }
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+
+ private:
+  SimdLevel saved_;
+};
+
+std::vector<SimdLevel> testable_simd_levels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (detected_simd_level() != SimdLevel::kScalar)
+    levels.push_back(detected_simd_level());
+  return levels;
+}
+
+class MicroKernel : public ::testing::TestWithParam<SimdLevel> {};
+
+TEST_P(MicroKernel, DenseGemmMatchesReferenceAtRaggedShapes) {
+  ScopedSimdLevel scoped(GetParam());
+  // M, K, N deliberately not multiples of the 6x16 tile (plus the
+  // degenerate and exactly-divisible corners).
+  const ConformanceCase shapes[] = {
+      {1, 1, 1, 0, "unit"},         {3, 5, 7, 0, "tiny ragged"},
+      {6, 16, 32, 0, "divisible"},  {7, 17, 33, 0, "one past the tile"},
+      {13, 41, 19, 0, "ragged"},    {5, 300, 11, 0, "deep K, narrow N"},
+      {64, 64, 64, 0, "square"},
+  };
+  for (const auto& shape : shapes) {
+    const MatrixF a = random_matrix(shape.m, shape.k, 7 + shape.m);
+    const MatrixF b = random_matrix(shape.k, shape.n, 11 + shape.n);
+    const MatrixF ref = matmul_reference(a, b);
+    const MatrixF c = matmul(a, b);
+    EXPECT_LT(max_abs_diff(c, ref), 1e-4f)
+        << shape.label << " under " << simd_level_name(GetParam());
+  }
+}
+
+TEST_P(MicroKernel, RawF32KernelMatchesNaivePanels) {
+  ScopedSimdLevel scoped(GetParam());
+  Rng rng(41);
+  for (std::size_t rows : {std::size_t{1}, std::size_t{4}, kMr}) {
+    for (std::size_t cols : {std::size_t{1}, std::size_t{9}, kNr}) {
+      for (std::size_t kc : {std::size_t{1}, std::size_t{5}, std::size_t{37}}) {
+        MatrixF a(rows, kc), b(kc, cols);
+        fill_normal(a, rng);
+        fill_normal(b, rng);
+        std::vector<float> a_panel(kc * kMr), b_panel(kc * kNr);
+        pack_a_panel_f32(a.data(), kc, rows, kc, /*alpha=*/1.0f,
+                         /*fp16_inputs=*/false, a_panel.data());
+        pack_b_panel_f32(b.data(), cols, kc, cols, b_panel.data());
+
+        MatrixF c = random_matrix(rows, cols, 5 * kc + cols);
+        MatrixF ref = c;
+        micro_kernel_f32(kc, a_panel.data(), b_panel.data(), c.data(), cols,
+                         rows, cols);
+        for (std::size_t r = 0; r < rows; ++r)
+          for (std::size_t j = 0; j < cols; ++j)
+            for (std::size_t t = 0; t < kc; ++t) ref(r, j) += a(r, t) * b(t, j);
+        EXPECT_LT(max_abs_diff(c, ref), 1e-4f)
+            << rows << "x" << cols << "x" << kc << " under "
+            << simd_level_name(GetParam());
+      }
+    }
+  }
+}
+
+TEST_P(MicroKernel, Int8KernelIsExactWithPowerOfTwoScale) {
+  ScopedSimdLevel scoped(GetParam());
+  Rng rng(43);
+  // Power-of-two dequant scale: the int32 accumulation is exact and the
+  // float scaling is too, so scalar, SIMD and the naive loop must agree
+  // bit-for-bit.
+  const float scale = 0.03125f;
+  for (std::size_t rows : {std::size_t{1}, std::size_t{3}, kMr}) {
+    for (std::size_t cols : {std::size_t{1}, std::size_t{7}, kNr}) {
+      for (std::size_t kc : {std::size_t{1}, std::size_t{2}, std::size_t{9},
+                             std::size_t{64}}) {
+        std::vector<std::int8_t> a(rows * kc), b(kc * cols);
+        for (auto& v : a)
+          v = static_cast<std::int8_t>(rng.uniform(-127.0f, 127.0f));
+        for (auto& v : b)
+          v = static_cast<std::int8_t>(rng.uniform(-127.0f, 127.0f));
+        const std::size_t kc_even = round_up_pair(kc);
+        std::vector<std::int8_t> a_panel(kc_even * kMr), b_panel(kc_even * kNr);
+        pack_a_panel_i8(a.data(), kc, rows, kc, a_panel.data());
+        pack_b_panel_i8(b.data(), cols, kc, cols, b_panel.data());
+
+        MatrixF c(rows, cols);
+        micro_kernel_i8(kc, a_panel.data(), b_panel.data(), scale, c.data(),
+                        cols, rows, cols);
+        for (std::size_t r = 0; r < rows; ++r) {
+          for (std::size_t j = 0; j < cols; ++j) {
+            std::int32_t acc = 0;
+            for (std::size_t t = 0; t < kc; ++t)
+              acc += static_cast<std::int32_t>(a[r * kc + t]) *
+                     static_cast<std::int32_t>(b[t * cols + j]);
+            EXPECT_EQ(c(r, j), scale * static_cast<float>(acc))
+                << rows << "x" << cols << "x" << kc << " under "
+                << simd_level_name(GetParam());
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(MicroKernel, MaskedPathAlphaBetaEdgeCases) {
+  ScopedSimdLevel scoped(GetParam());
+  // Ragged shape: none of M, K, N are multiples of the register tile.
+  const std::size_t m = 13, k = 50, n = 70;
+  const MatrixF w = random_matrix(k, n, 61);
+  const MatrixF a = random_matrix(m, k, 67);
+  const auto packed = pack_for_test("tw", w, /*g=*/16);
+  const MatrixF ab = matmul_reference(a, packed->to_dense());
+
+  const float combos[][2] = {
+      {0.0f, 0.0f}, {0.0f, 2.0f}, {1.0f, 0.0f},
+      {1.0f, 1.0f}, {2.0f, 0.5f}, {-0.5f, -1.0f},
+  };
+  for (const auto& combo : combos) {
+    ExecContext ctx;
+    ctx.alpha = combo[0];
+    ctx.beta = combo[1];
+    MatrixF c = random_matrix(m, n, 71);
+    const MatrixF c0 = c;
+    packed->matmul(ctx, a, c);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      EXPECT_NEAR(c.data()[i],
+                  combo[0] * ab.data()[i] + combo[1] * c0.data()[i], 1e-3f)
+          << "alpha=" << combo[0] << " beta=" << combo[1] << " under "
+          << simd_level_name(GetParam());
+    }
+  }
+}
+
+TEST(MicroKernel, ScalarAndSimdPathsAgree) {
+  const MatrixF a = random_matrix(37, 129, 73);
+  const MatrixF b = random_matrix(129, 83, 79);
+  MatrixF c_scalar, c_simd;
+  {
+    ScopedSimdLevel scoped(SimdLevel::kScalar);
+    c_scalar = matmul(a, b);
+  }
+  {
+    ScopedSimdLevel scoped(detected_simd_level());
+    c_simd = matmul(a, b);
+  }
+  // Identical math modulo FMA contraction differences.
+  EXPECT_LT(max_abs_diff(c_scalar, c_simd), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dispatch, MicroKernel,
+                         ::testing::ValuesIn(testable_simd_levels()),
+                         [](const auto& info) {
+                           return std::string(simd_level_name(info.param));
+                         });
 
 }  // namespace
 }  // namespace tilesparse

@@ -120,5 +120,39 @@ TEST(Serialize, FileRoundTrip) {
   EXPECT_THROW(load_pattern("/nonexistent/dir/x.bin"), std::runtime_error);
 }
 
+TEST(Serialize, CalibrationJsonRoundTrip) {
+  PlannerCalibration calib;
+  calib.csr_mac_penalty = 12.5;
+  calib.tw_mac_penalty = 1.25;
+  calib.int8_mac_discount = 0.75;
+  calib.macs_per_byte = 2.5;
+  calib.dense_gflops = 42.0;
+  calib.source = "unit test host";
+  std::stringstream buffer;
+  write_calibration_json(buffer, calib);
+  const PlannerCalibration back = read_calibration_json(buffer);
+  EXPECT_DOUBLE_EQ(back.csr_mac_penalty, calib.csr_mac_penalty);
+  EXPECT_DOUBLE_EQ(back.tw_mac_penalty, calib.tw_mac_penalty);
+  EXPECT_DOUBLE_EQ(back.int8_mac_discount, calib.int8_mac_discount);
+  EXPECT_DOUBLE_EQ(back.macs_per_byte, calib.macs_per_byte);
+  EXPECT_DOUBLE_EQ(back.dense_gflops, calib.dense_gflops);
+  EXPECT_EQ(back.source, calib.source);
+  EXPECT_TRUE(back.measured());
+}
+
+TEST(Serialize, CalibrationMissingKeysKeepDefaults) {
+  std::stringstream buffer("{\"csr_mac_penalty\": 20.0}");
+  const PlannerCalibration back = read_calibration_json(buffer);
+  EXPECT_DOUBLE_EQ(back.csr_mac_penalty, 20.0);
+  const PlannerCalibration defaults;
+  EXPECT_DOUBLE_EQ(back.macs_per_byte, defaults.macs_per_byte);
+  EXPECT_FALSE(back.measured());  // no dense_gflops recorded
+}
+
+TEST(Serialize, CalibrationRejectsNonJson) {
+  std::stringstream buffer("not json at all");
+  EXPECT_THROW(read_calibration_json(buffer), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace tilesparse
