@@ -1,0 +1,117 @@
+// Serialize bench: artifact load time vs re-pack time per PackedWeight
+// format — the number that justifies shipping whole packed objects.  A
+// serving process that re-packs (and for int8, re-quantises) a weight
+// it already packed at training time pays the "pack" column on every
+// cold start; loading the artifact pays the "load" column instead.
+//
+// Usage: serialize [--k=3072] [--n=768] [--layers=4] [--sparsity=75]
+// (--sparsity is an integer percent)
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/backend_registry.hpp"
+#include "io/serialize.hpp"
+#include "prune/importance.hpp"
+#include "prune/tw_pruner.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace tilesparse;
+
+namespace {
+
+std::size_t flag_value(int argc, char** argv, const char* name,
+                       std::size_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return static_cast<std::size_t>(std::atoll(argv[i] + prefix.size()));
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t k = flag_value(argc, argv, "k", 3072);
+  const std::size_t n = flag_value(argc, argv, "n", 768);
+  const std::size_t layers = flag_value(argc, argv, "layers", 4);
+  const double sparsity =
+      static_cast<double>(flag_value(argc, argv, "sparsity", 75)) / 100.0;
+
+  // One BERT-ish FFN weight per layer, pruned once (training-time cost,
+  // not measured here) — the bench compares what happens after.
+  Rng rng(17);
+  std::vector<MatrixF> weights;
+  std::vector<TilePattern> patterns;
+  std::vector<MatrixF> scores;
+  for (std::size_t i = 0; i < layers; ++i) {
+    MatrixF w(k, n);
+    fill_normal(w, rng);
+    TwPruneOptions options;
+    options.target_sparsity = sparsity;
+    options.g = 64;
+    patterns.push_back(tw_prune_single(w, options));
+    scores.push_back(magnitude_scores(w));
+    weights.push_back(std::move(w));
+  }
+
+  std::printf("serialize bench: %zu layers of %zu x %zu, %.0f%% target TW "
+              "sparsity\n\n",
+              layers, k, n, 100.0 * sparsity);
+
+  Table table("artifact load vs re-pack (" + std::to_string(layers) +
+              " layers, ms)");
+  table.set_header({"format", "artifact KiB", "pack ms", "save ms", "load ms",
+                    "pack/load"});
+
+  for (const std::string& format : registered_formats()) {
+    const auto pack_all = [&] {
+      std::vector<std::unique_ptr<PackedWeight>> packed;
+      for (std::size_t i = 0; i < layers; ++i) {
+        PackOptions options;
+        options.pattern = &patterns[i];
+        options.scores = &scores[i];
+        packed.push_back(make_packed(format, weights[i], options));
+      }
+      return packed;
+    };
+    const double pack_s = time_best_of([&] { pack_all(); }, 3);
+
+    std::vector<std::pair<std::string, const PackedWeight*>> entries;
+    const auto packed = pack_all();
+    for (std::size_t i = 0; i < layers; ++i)
+      entries.emplace_back("layer." + std::to_string(i), packed[i].get());
+
+    std::string artifact;
+    const double save_s = time_best_of(
+        [&] {
+          std::ostringstream out;
+          write_model_weights(out, entries);
+          artifact = out.str();
+        },
+        3);
+
+    const double load_s = time_best_of(
+        [&] {
+          std::istringstream in(artifact);
+          const auto loaded = read_model_weights(in);
+          if (loaded.size() != layers) std::abort();
+        },
+        3);
+
+    table.add_row({format, std::to_string(artifact.size() / 1024),
+                   format_double(pack_s * 1e3, 2),
+                   format_double(save_s * 1e3, 2),
+                   format_double(load_s * 1e3, 2),
+                   format_double(pack_s / load_s, 1)});
+  }
+
+  table.print();
+  return 0;
+}

@@ -1,6 +1,8 @@
 #include "exec/backend_registry.hpp"
 
 #include <algorithm>
+#include <istream>
+#include <limits>
 #include <map>
 #include <stdexcept>
 
@@ -9,6 +11,7 @@
 #include "exec/quant_tw_weight.hpp"
 #include "exec/tew_weight.hpp"
 #include "exec/tw_weight.hpp"
+#include "io/wire.hpp"
 #include "prune/importance.hpp"
 
 namespace tilesparse {
@@ -59,6 +62,32 @@ std::map<std::string, BackendFactory>& registry() {
   return backends;
 }
 
+std::map<std::string, BackendLoader>& loader_registry() {
+  static std::map<std::string, BackendLoader> loaders = {
+      {"dense",
+       [](std::istream& in, std::size_t k, std::size_t n) {
+         return std::unique_ptr<PackedWeight>(DenseWeight::load(in, k, n));
+       }},
+      {"tw",
+       [](std::istream& in, std::size_t k, std::size_t n) {
+         return std::unique_ptr<PackedWeight>(TwWeight::load(in, k, n));
+       }},
+      {"tew",
+       [](std::istream& in, std::size_t k, std::size_t n) {
+         return std::unique_ptr<PackedWeight>(TewWeight::load(in, k, n));
+       }},
+      {"csr",
+       [](std::istream& in, std::size_t k, std::size_t n) {
+         return std::unique_ptr<PackedWeight>(CsrWeight::load(in, k, n));
+       }},
+      {"tw-int8",
+       [](std::istream& in, std::size_t k, std::size_t n) {
+         return std::unique_ptr<PackedWeight>(QuantTwWeight::load(in, k, n));
+       }},
+  };
+  return loaders;
+}
+
 }  // namespace
 
 void register_backend(const std::string& format, BackendFactory factory) {
@@ -88,6 +117,51 @@ std::unique_ptr<PackedWeight> make_packed(const std::string& format,
                             "' (registered: " + known + ")");
   }
   return it->second(weights, options);
+}
+
+void register_backend_loader(const std::string& format, BackendLoader loader) {
+  loader_registry()[format] = std::move(loader);
+}
+
+bool backend_loader_registered(const std::string& format) {
+  return loader_registry().count(format) != 0;
+}
+
+std::unique_ptr<PackedWeight> load_packed_weight(std::istream& in) {
+  if (wire::read_pod<std::uint32_t>(in) != wire::kMagicPackedWeight)
+    throw std::runtime_error(
+        "load_packed_weight: not a packed-weight artifact (bad magic)");
+  if (wire::read_pod<std::uint32_t>(in) != wire::kContainerVersion)
+    throw std::runtime_error(
+        "load_packed_weight: unsupported artifact version");
+  const std::string format = wire::read_string(in);
+  const auto k = wire::read_pod<std::uint64_t>(in);
+  const auto n = wire::read_pod<std::uint64_t>(in);
+  // Every on-wire index is int32, so no legitimate artifact can name a
+  // larger dimension — reject before any k- or n-sized allocation.
+  constexpr std::uint64_t kMaxDim = std::numeric_limits<std::int32_t>::max();
+  if (k > kMaxDim || n > kMaxDim)
+    throw std::runtime_error(
+        "load_packed_weight: corrupt artifact dimensions");
+
+  const auto& loaders = loader_registry();
+  const auto it = loaders.find(format);
+  if (it == loaders.end()) {
+    std::string known;
+    for (const auto& [name, loader] : loaders)
+      known += (known.empty() ? "" : ", ") + name;
+    throw std::runtime_error("load_packed_weight: unknown weight format '" +
+                             format + "' in artifact (loadable: " + known +
+                             ")");
+  }
+  std::unique_ptr<PackedWeight> weight =
+      it->second(in, static_cast<std::size_t>(k), static_cast<std::size_t>(n));
+  if (!weight || weight->k() != k || weight->n() != n ||
+      weight->format() != format)
+    throw std::runtime_error("load_packed_weight: loader for '" + format +
+                             "' produced an object disagreeing with the "
+                             "artifact header");
+  return weight;
 }
 
 }  // namespace tilesparse

@@ -7,6 +7,7 @@
 // runtime with register_backend().
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -57,5 +58,34 @@ bool backend_registered(const std::string& format);
 std::unique_ptr<PackedWeight> make_packed(const std::string& format,
                                           const MatrixF& weights,
                                           const PackOptions& options = {});
+
+// ------------------------------------------------------- artifact loading
+//
+// The deserialization side of the registry: a format-tagged artifact
+// (written by write_packed_weight in io/serialize) names the backend
+// that must reconstruct it, so the loader table is the registry's dual.
+// Built-in formats register loaders automatically; custom backends that
+// override PackedWeight::save() plug theirs in here.
+
+/// Reads one backend payload written by PackedWeight::save().  `k`/`n`
+/// come from the container header; loaders must validate the payload
+/// against them and throw std::runtime_error on disagreement.
+using BackendLoader = std::function<std::unique_ptr<PackedWeight>(
+    std::istream& in, std::size_t k, std::size_t n)>;
+
+/// Registers (or replaces) a loader.  Thread-compatible, like
+/// register_backend.
+void register_backend_loader(const std::string& format, BackendLoader loader);
+
+/// True when `format` has a registered loader.
+bool backend_loader_registered(const std::string& format);
+
+/// Reads one whole-PackedWeight container (magic, version, format name,
+/// k/n, payload) and dispatches on the stored format name.  Throws
+/// std::runtime_error for a bad magic, an unsupported version, an
+/// unknown format name, or a payload that fails validation — never UB,
+/// and never bad_alloc when the stream is seekable (files and string
+/// streams; a garbage length on a pipe cannot be pre-validated).
+std::unique_ptr<PackedWeight> load_packed_weight(std::istream& in);
 
 }  // namespace tilesparse

@@ -1,5 +1,8 @@
 #include "exec/csr_weight.hpp"
 
+#include <stdexcept>
+
+#include "io/serialize.hpp"
 #include "sparse/spmm.hpp"
 
 namespace tilesparse {
@@ -9,6 +12,17 @@ CsrWeight::CsrWeight(const MatrixF& weights, float tol)
 
 CsrWeight::CsrWeight(Csr csr)
     : PackedWeight(csr.rows, csr.cols), csr_(std::move(csr)) {}
+
+void CsrWeight::save(std::ostream& out) const { write_csr(out, csr_); }
+
+std::unique_ptr<CsrWeight> CsrWeight::load(std::istream& in, std::size_t k,
+                                           std::size_t n) {
+  Csr csr = read_csr(in);
+  if (csr.rows != k || csr.cols != n)
+    throw std::runtime_error(
+        "CsrWeight::load: payload shape disagrees with artifact header");
+  return std::make_unique<CsrWeight>(std::move(csr));
+}
 
 MatrixF CsrWeight::to_dense() const { return csr_to_dense(csr_); }
 

@@ -6,6 +6,9 @@
 // backend both as the comparison baseline and because it wins at
 // extreme unstructured sparsity.
 
+#include <iosfwd>
+#include <memory>
+
 #include "exec/packed_weight.hpp"
 #include "sparse/csr.hpp"
 
@@ -19,6 +22,12 @@ class CsrWeight final : public PackedWeight {
   /// Wraps an existing CSR (of the weight matrix itself).
   explicit CsrWeight(Csr csr);
 
+  /// Deserializes a payload written by save(): the CSR arrays,
+  /// validated against the artifact's `k`/`n`.
+  static std::unique_ptr<CsrWeight> load(std::istream& in, std::size_t k,
+                                         std::size_t n);
+
+  void save(std::ostream& out) const override;
   MatrixF to_dense() const override;
   std::size_t bytes() const noexcept override;
   double macs(std::size_t m) const noexcept override;

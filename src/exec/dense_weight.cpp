@@ -1,5 +1,8 @@
 #include "exec/dense_weight.hpp"
 
+#include <stdexcept>
+
+#include "io/wire.hpp"
 #include "quant/quant_gemm.hpp"
 
 namespace tilesparse {
@@ -8,6 +11,19 @@ DenseWeight::DenseWeight(MatrixF weights, GemmConfig config)
     : PackedWeight(weights.rows(), weights.cols()),
       weights_(std::move(weights)),
       config_(config) {}
+
+void DenseWeight::save(std::ostream& out) const {
+  wire::write_matrix_payload(out, weights_);
+}
+
+std::unique_ptr<DenseWeight> DenseWeight::load(std::istream& in, std::size_t k,
+                                               std::size_t n) {
+  MatrixF weights = wire::read_matrix_payload<float>(in);
+  if (weights.rows() != k || weights.cols() != n)
+    throw std::runtime_error(
+        "DenseWeight::load: payload shape disagrees with artifact header");
+  return std::make_unique<DenseWeight>(std::move(weights));
+}
 
 std::size_t DenseWeight::bytes() const noexcept {
   return weights_.size() * sizeof(float);

@@ -5,6 +5,8 @@
 // rounds A inside the kernel; int8 quantises both operands dynamically
 // (per-tensor scales) and accumulates in int32.
 
+#include <iosfwd>
+#include <memory>
 #include <mutex>
 
 #include "exec/packed_weight.hpp"
@@ -17,6 +19,12 @@ class DenseWeight final : public PackedWeight {
  public:
   explicit DenseWeight(MatrixF weights, GemmConfig config = {});
 
+  /// Deserializes a payload written by save(); `k`/`n` come from the
+  /// artifact container header and must match the stored panel.
+  static std::unique_ptr<DenseWeight> load(std::istream& in, std::size_t k,
+                                           std::size_t n);
+
+  void save(std::ostream& out) const override;
   MatrixF to_dense() const override { return weights_; }
   std::size_t bytes() const noexcept override;
   double macs(std::size_t m) const noexcept override;

@@ -44,6 +44,13 @@ bool PackedWeight::supports(Numerics numerics) const noexcept {
   return numerics != Numerics::kInt8;
 }
 
+void PackedWeight::save(std::ostream&) const {
+  throw std::logic_error(std::string("PackedWeight::save: format '") +
+                         std::string(format()) +
+                         "' has no serializer (override save() and register "
+                         "a loader with register_backend_loader)");
+}
+
 void PackedWeight::matmul(const ExecContext& ctx, const MatrixF& a,
                           MatrixF& c) const {
   if (a.cols() != k_) {

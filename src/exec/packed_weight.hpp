@@ -18,6 +18,7 @@
 // up to the format's arithmetic (exact for fp32 formats).
 
 #include <cstddef>
+#include <iosfwd>
 #include <memory>
 #include <string_view>
 
@@ -49,6 +50,16 @@ class PackedWeight {
 
   /// Registry name of the format ("dense", "tw", "tew", "csr", "tw-int8").
   virtual std::string_view format() const noexcept = 0;
+
+  /// Writes the backend-owned payload — everything needed to
+  /// reconstruct this object without the original dense weights (e.g.
+  /// the int8 format writes quantised tiles *with their scales*).  The
+  /// enclosing container framing (magic, version, format name, k/n) is
+  /// written by write_packed_weight (io/serialize); the matching load
+  /// factory is registered with register_backend_loader.  The default
+  /// throws std::logic_error so execution-only custom backends keep
+  /// working until they opt into serialization.
+  virtual void save(std::ostream& out) const;
 
   /// Whether matmul can honor the requested activation numerics.
   /// Every format handles fp32 and fp16 (non-native formats round a

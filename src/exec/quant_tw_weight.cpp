@@ -1,7 +1,10 @@
 #include "exec/quant_tw_weight.hpp"
 
+#include <stdexcept>
+
 #include "core/tile_exec.hpp"
 #include "exec/tw_weight.hpp"
+#include "io/wire.hpp"
 
 namespace tilesparse {
 
@@ -15,6 +18,37 @@ QuantTwWeight::QuantTwWeight(const std::vector<MaskedTile>& tiles,
 QuantTwWeight::QuantTwWeight(std::vector<QuantMaskedTile> tiles, std::size_t k,
                              std::size_t n)
     : PackedWeight(k, n), tiles_(std::move(tiles)) {}
+
+void QuantTwWeight::save(std::ostream& out) const {
+  wire::write_pod<std::uint64_t>(out, tiles_.size());
+  for (const QuantMaskedTile& tile : tiles_) {
+    wire::write_pod<float>(out, tile.scale);
+    wire::write_vector(out, tile.kept_rows);
+    wire::write_vector(out, tile.out_cols);
+    wire::write_matrix_payload(out, tile.weights);
+  }
+}
+
+std::unique_ptr<QuantTwWeight> QuantTwWeight::load(std::istream& in,
+                                                   std::size_t k,
+                                                   std::size_t n) {
+  const auto count = wire::read_pod<std::uint64_t>(in);
+  wire::check_size_prefix(in, count, 3 * sizeof(std::uint64_t));
+  std::vector<QuantMaskedTile> tiles(static_cast<std::size_t>(count));
+  for (QuantMaskedTile& tile : tiles) {
+    tile.scale = wire::read_pod<float>(in);
+    tile.kept_rows = wire::read_vector<std::int32_t>(in);
+    tile.out_cols = wire::read_vector<std::int32_t>(in);
+    tile.weights = wire::read_matrix_payload<std::int8_t>(in);
+    if (tile.weights.rows() != tile.kept_rows.size() ||
+        tile.weights.cols() != tile.out_cols.size())
+      throw std::runtime_error(
+          "QuantTwWeight::load: inconsistent quantised tile");
+    wire::check_index_vector(tile.kept_rows, k, "tile row");
+    wire::check_index_vector(tile.out_cols, n, "tile column");
+  }
+  return std::make_unique<QuantTwWeight>(std::move(tiles), k, n);
+}
 
 MatrixF QuantTwWeight::to_dense() const {
   return quant_tiles_to_dense(tiles_, k(), n());

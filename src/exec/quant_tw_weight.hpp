@@ -6,6 +6,8 @@
 // requested activation numerics; to_dense() returns the *dequantised*
 // weights, making the reconstruction the arithmetic ground truth.
 
+#include <iosfwd>
+#include <memory>
 #include <vector>
 
 #include "core/tile_pattern.hpp"
@@ -29,6 +31,13 @@ class QuantTwWeight final : public PackedWeight {
   QuantTwWeight(std::vector<QuantMaskedTile> tiles, std::size_t k,
                 std::size_t n);
 
+  /// Deserializes a payload written by save(): the int8 tiles *with
+  /// their per-tile scales* — loading never re-quantises (which would
+  /// shift results between the train and serve sides).
+  static std::unique_ptr<QuantTwWeight> load(std::istream& in, std::size_t k,
+                                             std::size_t n);
+
+  void save(std::ostream& out) const override;
   MatrixF to_dense() const override;
   std::size_t bytes() const noexcept override;
   double macs(std::size_t m) const noexcept override;

@@ -1,7 +1,11 @@
 #include "exec/tew_weight.hpp"
 
+#include <stdexcept>
+
 #include "exec/tw_weight.hpp"
 #include "gemm/masked_gemm.hpp"
+#include "io/serialize.hpp"
+#include "io/wire.hpp"
 
 namespace tilesparse {
 
@@ -11,6 +15,32 @@ TewWeight::TewWeight(const MatrixF& weights, const TilePattern& pattern,
 
 TewWeight::TewWeight(TewMatrix tew)
     : PackedWeight(tew.k, tew.n), tew_(std::move(tew)) {}
+
+void TewWeight::save(std::ostream& out) const {
+  write_pattern(out, tew_.pattern);
+  write_tiles(out, tew_.tiles);
+  write_csc(out, tew_.remainder);
+}
+
+std::unique_ptr<TewWeight> TewWeight::load(std::istream& in, std::size_t k,
+                                           std::size_t n) {
+  TewMatrix tew;
+  tew.k = k;
+  tew.n = n;
+  tew.pattern = read_pattern(in);
+  tew.tiles = read_tiles(in);
+  tew.remainder = read_csc(in);
+  if (tew.pattern.k != k || tew.pattern.n != n ||
+      tew.remainder.rows != k || tew.remainder.cols != n ||
+      tew.tiles.size() != tew.pattern.tiles.size())
+    throw std::runtime_error(
+        "TewWeight::load: payload shape disagrees with artifact header");
+  for (const MaskedTile& tile : tew.tiles) {
+    wire::check_index_vector(tile.kept_rows, k, "tile row");
+    wire::check_index_vector(tile.out_cols, n, "tile column");
+  }
+  return std::make_unique<TewWeight>(std::move(tew));
+}
 
 std::size_t TewWeight::bytes() const noexcept {
   std::size_t total = 0;

@@ -5,6 +5,9 @@
 // Matches the existing TewMatrix decomposition, behind the unified
 // PackedWeight interface.
 
+#include <iosfwd>
+#include <memory>
+
 #include "core/tew.hpp"
 #include "exec/packed_weight.hpp"
 
@@ -21,6 +24,12 @@ class TewWeight final : public PackedWeight {
   /// Wraps an existing decomposition.
   explicit TewWeight(TewMatrix tew);
 
+  /// Deserializes a payload written by save(): TW pattern, compacted
+  /// tiles and the CSC remainder, validated against `k`/`n`.
+  static std::unique_ptr<TewWeight> load(std::istream& in, std::size_t k,
+                                         std::size_t n);
+
+  void save(std::ostream& out) const override;
   MatrixF to_dense() const override { return tew_to_dense(tew_); }
   std::size_t bytes() const noexcept override;
   double macs(std::size_t m) const noexcept override;

@@ -1,5 +1,8 @@
 #include "exec/tw_weight.hpp"
 
+#include "io/serialize.hpp"
+#include "io/wire.hpp"
+
 namespace tilesparse {
 
 namespace {
@@ -39,6 +42,18 @@ TwWeight::TwWeight(std::vector<MaskedTile> tiles, std::size_t k, std::size_t n)
     : PackedWeight(k, n),
       tiles_(std::move(tiles)),
       groups_(groups_from_tiles(tiles_)) {}
+
+void TwWeight::save(std::ostream& out) const { write_tiles(out, tiles_); }
+
+std::unique_ptr<TwWeight> TwWeight::load(std::istream& in, std::size_t k,
+                                         std::size_t n) {
+  std::vector<MaskedTile> tiles = read_tiles(in);
+  for (const MaskedTile& tile : tiles) {
+    wire::check_index_vector(tile.kept_rows, k, "tile row");
+    wire::check_index_vector(tile.out_cols, n, "tile column");
+  }
+  return std::make_unique<TwWeight>(std::move(tiles), k, n);
+}
 
 MatrixF TwWeight::to_dense() const { return tiles_to_dense(tiles_, k(), n()); }
 

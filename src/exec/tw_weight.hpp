@@ -4,6 +4,8 @@
 // equal tile width.  fp16 rounds the packed A panels natively inside
 // the kernel; int8 weight storage is a separate format ("tw-int8").
 
+#include <iosfwd>
+#include <memory>
 #include <vector>
 
 #include "core/tile_exec.hpp"
@@ -21,6 +23,12 @@ class TwWeight final : public PackedWeight {
   /// Wraps pre-compacted tiles (e.g. loaded from a deployment artifact).
   TwWeight(std::vector<MaskedTile> tiles, std::size_t k, std::size_t n);
 
+  /// Deserializes a payload written by save(): the compacted tiles,
+  /// bounds-checked against the artifact's `k`/`n`.
+  static std::unique_ptr<TwWeight> load(std::istream& in, std::size_t k,
+                                        std::size_t n);
+
+  void save(std::ostream& out) const override;
   MatrixF to_dense() const override;
   std::size_t bytes() const noexcept override;
   double macs(std::size_t m) const noexcept override;

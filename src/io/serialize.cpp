@@ -8,6 +8,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "exec/backend_registry.hpp"
+#include "io/wire.hpp"
+
 namespace tilesparse {
 namespace {
 
@@ -15,40 +18,13 @@ constexpr std::uint32_t kMagicMatrix = 0x54534d46;   // "TSMF"
 constexpr std::uint32_t kMagicPattern = 0x54535450;  // "TSTP"
 constexpr std::uint32_t kMagicTiles = 0x5453544c;    // "TSTL"
 constexpr std::uint32_t kMagicCsr = 0x54534352;      // "TSCR"
+constexpr std::uint32_t kMagicCsc = 0x54534343;      // "TSCC"
 constexpr std::uint32_t kVersion = 1;
 
-template <typename T>
-void write_pod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw std::runtime_error("tilesparse::io: short read");
-  return value;
-}
-
-template <typename T>
-void write_vector(std::ostream& out, const std::vector<T>& v) {
-  write_pod<std::uint64_t>(out, v.size());
-  if (!v.empty())
-    out.write(reinterpret_cast<const char*>(v.data()),
-              static_cast<std::streamsize>(v.size() * sizeof(T)));
-}
-
-template <typename T>
-std::vector<T> read_vector(std::istream& in) {
-  const auto size = read_pod<std::uint64_t>(in);
-  std::vector<T> v(size);
-  if (size > 0) {
-    in.read(reinterpret_cast<char*>(v.data()),
-            static_cast<std::streamsize>(size * sizeof(T)));
-    if (!in) throw std::runtime_error("tilesparse::io: short read");
-  }
-  return v;
-}
+using wire::read_pod;
+using wire::read_vector;
+using wire::write_pod;
+using wire::write_vector;
 
 void write_header(std::ostream& out, std::uint32_t magic) {
   write_pod(out, magic);
@@ -62,28 +38,36 @@ void check_header(std::istream& in, std::uint32_t magic) {
     throw std::runtime_error("tilesparse::io: unsupported version");
 }
 
+// Shared CSR/CSC sanity: pointer array monotonic from 0 to nnz, every
+// index within the minor dimension.  The sparse kernels index straight
+// through these arrays, so a corrupt file must be rejected here.
+void check_compressed_axes(const std::vector<std::int64_t>& ptr,
+                           const std::vector<std::int32_t>& idx,
+                           std::size_t minor_dim, const char* what) {
+  if (ptr.empty() || ptr.front() != 0 ||
+      ptr.back() != static_cast<std::int64_t>(idx.size()))
+    throw std::runtime_error(std::string("tilesparse::io: corrupt ") + what +
+                             " pointer array");
+  for (std::size_t i = 1; i < ptr.size(); ++i)
+    if (ptr[i] < ptr[i - 1])
+      throw std::runtime_error(std::string("tilesparse::io: corrupt ") + what +
+                               " pointer array");
+  for (const std::int32_t j : idx)
+    if (j < 0 || static_cast<std::size_t>(j) >= minor_dim)
+      throw std::runtime_error(std::string("tilesparse::io: corrupt ") + what +
+                               " index array");
+}
+
 }  // namespace
 
 void write_matrix(std::ostream& out, const MatrixF& m) {
   write_header(out, kMagicMatrix);
-  write_pod<std::uint64_t>(out, m.rows());
-  write_pod<std::uint64_t>(out, m.cols());
-  if (!m.empty())
-    out.write(reinterpret_cast<const char*>(m.data()),
-              static_cast<std::streamsize>(m.size() * sizeof(float)));
+  wire::write_matrix_payload(out, m);
 }
 
 MatrixF read_matrix(std::istream& in) {
   check_header(in, kMagicMatrix);
-  const auto rows = read_pod<std::uint64_t>(in);
-  const auto cols = read_pod<std::uint64_t>(in);
-  MatrixF m(rows, cols);
-  if (!m.empty()) {
-    in.read(reinterpret_cast<char*>(m.data()),
-            static_cast<std::streamsize>(m.size() * sizeof(float)));
-    if (!in) throw std::runtime_error("tilesparse::io: short read");
-  }
-  return m;
+  return wire::read_matrix_payload<float>(in);
 }
 
 void write_pattern(std::ostream& out, const TilePattern& pattern) {
@@ -107,6 +91,8 @@ TilePattern read_pattern(std::istream& in) {
   pattern.g = read_pod<std::uint64_t>(in);
   pattern.col_keep = read_vector<std::uint8_t>(in);
   const auto tile_count = read_pod<std::uint64_t>(in);
+  // Each tile occupies at least two size prefixes on the wire.
+  wire::check_size_prefix(in, tile_count, 2 * sizeof(std::uint64_t));
   pattern.tiles.resize(tile_count);
   for (auto& tile : pattern.tiles) {
     tile.out_cols = read_vector<std::int32_t>(in);
@@ -129,6 +115,7 @@ void write_tiles(std::ostream& out, const std::vector<MaskedTile>& tiles) {
 std::vector<MaskedTile> read_tiles(std::istream& in) {
   check_header(in, kMagicTiles);
   const auto count = read_pod<std::uint64_t>(in);
+  wire::check_size_prefix(in, count, 2 * sizeof(std::uint64_t));
   std::vector<MaskedTile> tiles(count);
   for (auto& tile : tiles) {
     tile.kept_rows = read_vector<std::int32_t>(in);
@@ -160,7 +147,83 @@ Csr read_csr(std::istream& in) {
   m.values = read_vector<float>(in);
   if (m.row_ptr.size() != m.rows + 1 || m.col_idx.size() != m.values.size())
     throw std::runtime_error("tilesparse::io: inconsistent CSR");
+  check_compressed_axes(m.row_ptr, m.col_idx, m.cols, "CSR");
   return m;
+}
+
+void write_csc(std::ostream& out, const Csc& m) {
+  write_header(out, kMagicCsc);
+  write_pod<std::uint64_t>(out, m.rows);
+  write_pod<std::uint64_t>(out, m.cols);
+  write_vector(out, m.col_ptr);
+  write_vector(out, m.row_idx);
+  write_vector(out, m.values);
+}
+
+Csc read_csc(std::istream& in) {
+  check_header(in, kMagicCsc);
+  Csc m;
+  m.rows = read_pod<std::uint64_t>(in);
+  m.cols = read_pod<std::uint64_t>(in);
+  m.col_ptr = read_vector<std::int64_t>(in);
+  m.row_idx = read_vector<std::int32_t>(in);
+  m.values = read_vector<float>(in);
+  if (m.col_ptr.size() != m.cols + 1 || m.row_idx.size() != m.values.size())
+    throw std::runtime_error("tilesparse::io: inconsistent CSC");
+  check_compressed_axes(m.col_ptr, m.row_idx, m.rows, "CSC");
+  return m;
+}
+
+void write_packed_weight(std::ostream& out, const PackedWeight& weight) {
+  write_pod(out, wire::kMagicPackedWeight);
+  write_pod(out, wire::kContainerVersion);
+  wire::write_string(out, std::string(weight.format()));
+  write_pod<std::uint64_t>(out, weight.k());
+  write_pod<std::uint64_t>(out, weight.n());
+  weight.save(out);
+}
+
+std::unique_ptr<PackedWeight> read_packed_weight(std::istream& in) {
+  // The registry owns the format-name dispatch; this is the io-side
+  // spelling of the same operation.
+  return load_packed_weight(in);
+}
+
+void write_model_weights(
+    std::ostream& out,
+    const std::vector<std::pair<std::string, const PackedWeight*>>& layers) {
+  for (const auto& [name, weight] : layers)
+    if (!weight)
+      throw std::invalid_argument("write_model_weights: layer '" + name +
+                                  "' has no packed weight");
+  write_pod(out, wire::kMagicModelWeights);
+  write_pod(out, wire::kContainerVersion);
+  write_pod<std::uint64_t>(out, layers.size());
+  for (const auto& [name, weight] : layers) {
+    wire::write_string(out, name);
+    write_packed_weight(out, *weight);
+  }
+}
+
+std::vector<NamedWeight> read_model_weights(std::istream& in) {
+  if (read_pod<std::uint32_t>(in) != wire::kMagicModelWeights)
+    throw std::runtime_error(
+        "tilesparse::io: not a model-weights artifact (bad magic)");
+  if (read_pod<std::uint32_t>(in) != wire::kContainerVersion)
+    throw std::runtime_error(
+        "tilesparse::io: unsupported model-weights version");
+  const auto count = read_pod<std::uint64_t>(in);
+  // Each layer costs at least a name prefix plus a container header.
+  wire::check_size_prefix(in, count, 2 * sizeof(std::uint64_t));
+  std::vector<NamedWeight> layers;
+  layers.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    NamedWeight entry;
+    entry.name = wire::read_string(in);
+    entry.weight = load_packed_weight(in);
+    layers.push_back(std::move(entry));
+  }
+  return layers;
 }
 
 void write_calibration_json(std::ostream& out,
@@ -267,6 +330,24 @@ void save_tiles(const std::string& path, const std::vector<MaskedTile>& tiles) {
 std::vector<MaskedTile> load_tiles(const std::string& path) {
   auto in = open_in(path);
   return read_tiles(in);
+}
+void save_packed_weight(const std::string& path, const PackedWeight& weight) {
+  auto out = open_out(path);
+  write_packed_weight(out, weight);
+}
+std::unique_ptr<PackedWeight> load_packed_weight(const std::string& path) {
+  auto in = open_in(path);
+  return read_packed_weight(in);
+}
+void save_model_weights(
+    const std::string& path,
+    const std::vector<std::pair<std::string, const PackedWeight*>>& layers) {
+  auto out = open_out(path);
+  write_model_weights(out, layers);
+}
+std::vector<NamedWeight> load_model_weights(const std::string& path) {
+  auto in = open_in(path);
+  return read_model_weights(in);
 }
 void save_calibration(const std::string& path,
                       const PlannerCalibration& calibration) {

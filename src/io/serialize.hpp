@@ -1,17 +1,24 @@
 #pragma once
 // Binary serialization for deployment artifacts: a pruned model ships
-// its TilePatterns and compacted tiles to the inference side, which
-// must not redo the (training-time) pruning.  Format: little-endian,
-// magic + version header per object, size-prefixed arrays.  Errors
-// (short reads, bad magic, version mismatch) throw std::runtime_error.
+// its TilePatterns, compacted tiles and — via the whole-PackedWeight
+// container — complete execution backends to the inference side, which
+// must not redo the (training-time) pruning or quantisation.  Format:
+// little-endian (enforced at compile time in io/wire.hpp), magic +
+// version header per object, size-prefixed arrays validated against the
+// stream length before allocation.  Errors (short reads, bad magic,
+// version mismatch, corrupt sizes) throw std::runtime_error.
 
 #include <iosfwd>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/tile_pattern.hpp"
 #include "exec/calibration.hpp"
+#include "exec/packed_weight.hpp"
 #include "gemm/masked_gemm.hpp"
+#include "sparse/csc.hpp"
 #include "sparse/csr.hpp"
 #include "tensor/matrix.hpp"
 
@@ -30,6 +37,36 @@ std::vector<MaskedTile> read_tiles(std::istream& in);
 void write_csr(std::ostream& out, const Csr& m);
 Csr read_csr(std::istream& in);
 
+void write_csc(std::ostream& out, const Csc& m);
+Csc read_csc(std::istream& in);
+
+// ---------------------------------------------- whole-PackedWeight container
+//
+// Layout: magic "TSPW", version, format name (from PackedWeight::
+// format()), k, n, then a backend-owned payload written by
+// PackedWeight::save() — dense panels, TW/TEW tiles + pattern, CSR
+// arrays, or int8 tiles *with their scales*, so loading never re-packs
+// or re-quantises.  Reading dispatches on the stored format name
+// through the BackendRegistry loader table (see load_packed_weight in
+// exec/backend_registry.hpp); unknown formats throw std::runtime_error.
+
+void write_packed_weight(std::ostream& out, const PackedWeight& weight);
+std::unique_ptr<PackedWeight> read_packed_weight(std::istream& in);
+
+/// One entry of a model-level artifact.
+struct NamedWeight {
+  std::string name;
+  std::unique_ptr<PackedWeight> weight;
+};
+
+// Model-level artifact: magic "TSMW", version, then a count-prefixed
+// sequence of (layer name, packed-weight container) — one file serves a
+// whole model.
+void write_model_weights(
+    std::ostream& out,
+    const std::vector<std::pair<std::string, const PackedWeight*>>& layers);
+std::vector<NamedWeight> read_model_weights(std::istream& in);
+
 // Planner calibration — JSON, not the binary container: the artifact
 // is meant to be human-inspected and diffed across hosts.  Unknown keys
 // are ignored on read; missing keys keep their defaults.
@@ -42,6 +79,12 @@ void save_pattern(const std::string& path, const TilePattern& pattern);
 TilePattern load_pattern(const std::string& path);
 void save_tiles(const std::string& path, const std::vector<MaskedTile>& tiles);
 std::vector<MaskedTile> load_tiles(const std::string& path);
+void save_packed_weight(const std::string& path, const PackedWeight& weight);
+std::unique_ptr<PackedWeight> load_packed_weight(const std::string& path);
+void save_model_weights(
+    const std::string& path,
+    const std::vector<std::pair<std::string, const PackedWeight*>>& layers);
+std::vector<NamedWeight> load_model_weights(const std::string& path);
 void save_calibration(const std::string& path,
                       const PlannerCalibration& calibration);
 PlannerCalibration load_calibration(const std::string& path);

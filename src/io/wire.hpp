@@ -1,0 +1,164 @@
+#pragma once
+// Low-level wire helpers shared by io/serialize and the PackedWeight
+// save/load payload code.
+//
+// All artifacts are little-endian on the wire.  write_pod emits host
+// byte order, so the library refuses to compile on big-endian hosts
+// rather than silently producing artifacts no little-endian reader can
+// open; porting to such a host means adding byte-swap shims here.
+//
+// Every size prefix read from a stream is validated against the bytes
+// actually remaining before any allocation: a truncated or corrupt
+// artifact throws std::runtime_error, never std::bad_alloc (a garbage
+// 64-bit length would otherwise ask the allocator for exabytes).
+
+#include <bit>
+#include <cstdint>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace tilesparse::wire {
+
+static_assert(std::endian::native == std::endian::little,
+              "tilesparse artifacts are little-endian; this host is not — "
+              "add byte-swap shims in io/wire.hpp before building here");
+
+// Container magics shared by the writer (io/serialize) and the reader
+// dispatch (exec/backend_registry).
+inline constexpr std::uint32_t kMagicPackedWeight = 0x54535057;  // "TSPW"
+inline constexpr std::uint32_t kMagicModelWeights = 0x54534d57;  // "TSMW"
+inline constexpr std::uint32_t kContainerVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("tilesparse::io: short read");
+  return value;
+}
+
+/// Bytes left between the read position and the end of the stream, or
+/// uint64 max when the stream is not seekable (no clamp possible there;
+/// the subsequent short-read check still fires, but a garbage length
+/// may surface as bad_alloc — artifacts are expected to arrive via
+/// seekable file or string streams).
+inline std::uint64_t remaining_bytes(std::istream& in) {
+  const auto pos = in.tellg();
+  if (pos == std::istream::pos_type(-1))
+    return std::numeric_limits<std::uint64_t>::max();
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos)
+    return std::numeric_limits<std::uint64_t>::max();
+  return static_cast<std::uint64_t>(end - pos);
+}
+
+/// Validates a just-read element count against the stream's remaining
+/// bytes *before* anything is allocated.  Counts below 1 MiB skip the
+/// (seek-based, buffer-discarding) length probe: allocating that much
+/// transiently is harmless and the short-read check still rejects the
+/// artifact, so the hot tile-loading path stays purely sequential.
+inline void check_size_prefix(std::istream& in, std::uint64_t count,
+                              std::size_t element_bytes) {
+  if (element_bytes == 0 || count <= (1u << 20) / element_bytes) return;
+  if (count > remaining_bytes(in) / element_bytes)
+    throw std::runtime_error(
+        "tilesparse::io: corrupt size prefix (larger than the artifact)");
+}
+
+template <typename T>
+void write_vector(std::ostream& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_pod<std::uint64_t>(out, v.size());
+  if (!v.empty())
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& in) {
+  const auto size = read_pod<std::uint64_t>(in);
+  check_size_prefix(in, size, sizeof(T));
+  std::vector<T> v(static_cast<std::size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(size * sizeof(T)));
+    if (!in) throw std::runtime_error("tilesparse::io: short read");
+  }
+  return v;
+}
+
+inline void write_string(std::ostream& out, const std::string& s) {
+  write_pod<std::uint64_t>(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline std::string read_string(std::istream& in) {
+  const auto size = read_pod<std::uint64_t>(in);
+  check_size_prefix(in, size, 1);
+  std::string s(static_cast<std::size_t>(size), '\0');
+  if (size > 0) {
+    in.read(s.data(), static_cast<std::streamsize>(size));
+    if (!in) throw std::runtime_error("tilesparse::io: short read");
+  }
+  return s;
+}
+
+/// Matrix payload: rows, cols, row-major data — no magic framing (the
+/// enclosing object provides it).  Works for any trivially copyable
+/// element type (float tiles, int8 quantised tiles, u8 masks).
+template <typename T>
+void write_matrix_payload(std::ostream& out, const Matrix<T>& m) {
+  write_pod<std::uint64_t>(out, m.rows());
+  write_pod<std::uint64_t>(out, m.cols());
+  if (!m.empty())
+    out.write(reinterpret_cast<const char*>(m.data()),
+              static_cast<std::streamsize>(m.size() * sizeof(T)));
+}
+
+template <typename T>
+Matrix<T> read_matrix_payload(std::istream& in) {
+  const auto rows = read_pod<std::uint64_t>(in);
+  const auto cols = read_pod<std::uint64_t>(in);
+  if (cols != 0 && rows > std::numeric_limits<std::uint64_t>::max() / cols)
+    throw std::runtime_error("tilesparse::io: corrupt matrix shape");
+  check_size_prefix(in, rows * cols, sizeof(T));
+  Matrix<T> m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  if (!m.empty()) {
+    in.read(reinterpret_cast<char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(T)));
+    if (!in) throw std::runtime_error("tilesparse::io: short read");
+  }
+  return m;
+}
+
+/// Index-vector sanity shared by the tile loaders: strictly ascending
+/// and within [0, limit).  Throws std::runtime_error — a file is never
+/// trusted.
+inline void check_index_vector(const std::vector<std::int32_t>& indices,
+                               std::size_t limit, const char* what) {
+  std::int64_t prev = -1;
+  for (const std::int32_t idx : indices) {
+    if (idx <= prev || static_cast<std::size_t>(idx) >= limit)
+      throw std::runtime_error(std::string("tilesparse::io: corrupt ") + what +
+                               " index vector");
+    prev = idx;
+  }
+}
+
+}  // namespace tilesparse::wire

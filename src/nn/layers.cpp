@@ -3,8 +3,10 @@
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "gemm/dense_gemm.hpp"
+#include "io/serialize.hpp"
 #include "tensor/ops.hpp"
 
 namespace tilesparse {
@@ -98,6 +100,55 @@ void pack_linear_layers(const std::vector<Linear*>& layers,
 
 void clear_packed_linear_layers(const std::vector<Linear*>& layers) {
   for (Linear* layer : layers) layer->clear_packed_weight();
+}
+
+void save_packed_linear_layers(const std::string& path,
+                               const std::vector<Linear*>& layers) {
+  std::vector<std::pair<std::string, const PackedWeight*>> entries;
+  entries.reserve(layers.size());
+  for (Linear* layer : layers) {
+    if (!layer->packed_weight()) {
+      throw std::logic_error("save_packed_linear_layers: layer '" +
+                             layer->weight().name +
+                             "' has no packed weight — pack before saving");
+    }
+    entries.emplace_back(layer->weight().name, layer->packed_weight());
+  }
+  save_model_weights(path, entries);
+}
+
+void load_packed_linear_layers(const std::string& path,
+                               const std::vector<Linear*>& layers,
+                               const ExecContext& ctx) {
+  std::vector<NamedWeight> loaded = load_model_weights(path);
+  std::unordered_map<std::string, NamedWeight*> by_name;
+  for (NamedWeight& entry : loaded) by_name[entry.name] = &entry;
+  // Resolve and shape-check every layer before installing anything, so
+  // a bad artifact throws with the model still in its previous state
+  // rather than half-loaded.
+  std::vector<NamedWeight*> resolved;
+  resolved.reserve(layers.size());
+  for (Linear* layer : layers) {
+    const auto it = by_name.find(layer->weight().name);
+    if (it == by_name.end() || !it->second || !it->second->weight) {
+      throw std::runtime_error("load_packed_linear_layers: artifact '" + path +
+                               "' has no entry for layer '" +
+                               layer->weight().name + "'");
+    }
+    const PackedWeight& weight = *it->second->weight;
+    if (weight.k() != layer->weight().value.rows() ||
+        weight.n() != layer->weight().value.cols()) {
+      throw std::runtime_error("load_packed_linear_layers: artifact '" + path +
+                               "' entry for layer '" + layer->weight().name +
+                               "' has mismatched shape");
+    }
+    resolved.push_back(it->second);
+    it->second = nullptr;  // a duplicate weight name must not resolve twice
+  }
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    layers[i]->set_packed_weight(std::move(resolved[i]->weight));
+    layers[i]->set_exec_context(ctx);
+  }
 }
 
 // ---------------------------------------------------------------- ReLU

@@ -82,6 +82,22 @@ void pack_linear_layers(const std::vector<Linear*>& layers,
 /// Clears packed weights on every layer (back to dense execution).
 void clear_packed_linear_layers(const std::vector<Linear*>& layers);
 
+/// Writes every layer's *packed* weight into one model artifact
+/// (io/serialize save_model_weights), keyed by the weight Param's name.
+/// Throws std::logic_error when a layer has not been packed — the
+/// artifact is the packed representation, there is nothing dense to
+/// ship.
+void save_packed_linear_layers(const std::string& path,
+                               const std::vector<Linear*>& layers);
+
+/// Loads a model artifact into `layers`: each layer adopts the entry
+/// matching its weight name (throws std::runtime_error when one is
+/// missing) and installs `ctx`.  Serving starts straight from the
+/// artifact — no re-packing or re-quantising.
+void load_packed_linear_layers(const std::string& path,
+                               const std::vector<Linear*>& layers,
+                               const ExecContext& ctx = {});
+
 class ReLU : public Layer {
  public:
   MatrixF forward(const MatrixF& x) override;

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "io/serialize.hpp"
 #include "nn/bert_mini.hpp"
+#include "nn/layers.hpp"
 #include "nn/loss.hpp"
 #include "nn/metrics.hpp"
 #include "nn/nmt_mini.hpp"
@@ -200,6 +202,41 @@ double evaluate_with_format(PruneTask& task, const std::string& format,
   }
 }
 
+void export_packed_weights(PruneTask& task, const std::string& format,
+                           const std::vector<TilePattern>* patterns,
+                           const std::string& path, const ExecContext& ctx) {
+  const std::vector<Linear*> layers = task.packed_layers();
+  if (layers.empty() || !task.pack_weights(format, patterns, ctx)) {
+    throw std::logic_error("export_packed_weights: task '" + task.name() +
+                           "' has no layer-level packed execution path");
+  }
+  try {
+    save_packed_linear_layers(path, layers);
+    task.clear_packed_weights();
+  } catch (...) {
+    task.clear_packed_weights();
+    throw;
+  }
+}
+
+double evaluate_from_artifact(PruneTask& task, const std::string& path,
+                              const ExecContext& ctx) {
+  const std::vector<Linear*> layers = task.packed_layers();
+  if (layers.empty()) {
+    throw std::logic_error("evaluate_from_artifact: task '" + task.name() +
+                           "' has no layer-level packed execution path");
+  }
+  try {
+    load_packed_linear_layers(path, layers, ctx);
+    const double metric = task.evaluate();
+    task.clear_packed_weights();
+    return metric;
+  } catch (...) {
+    task.clear_packed_weights();
+    throw;
+  }
+}
+
 // =================================================================== tasks
 
 namespace {
@@ -220,6 +257,9 @@ class BertTaskBase : public PruneTask {
     return true;
   }
   void clear_packed_weights() override { model_.clear_packed_weights(); }
+  std::vector<Linear*> packed_layers() override {
+    return model_.prunable_layers();
+  }
 
   void train_steps(int steps) override {
     SgdOptimizer opt(model_.params(), lr_, 0.9f);

@@ -20,6 +20,8 @@
 
 namespace tilesparse {
 
+class Linear;
+
 enum class PatternKind { kDense, kEw, kVw, kBw, kTw, kTew };
 
 const char* pattern_name(PatternKind kind);
@@ -66,6 +68,12 @@ class PruneTask {
   }
   /// Undoes pack_weights (dense execution).  Default no-op.
   virtual void clear_packed_weights() {}
+
+  /// Linear layers holding the packed weights pack_weights() installs,
+  /// in prunable() order.  Empty when the task has no layer-level
+  /// packed path (conv nets, LSTM gate weights) — such tasks cannot
+  /// ship deployment artifacts yet.
+  virtual std::vector<Linear*> packed_layers() { return {}; }
 };
 
 /// Result of one prune-and-fine-tune run.
@@ -91,6 +99,23 @@ PruneResult prune_and_evaluate(PruneTask& task, const PatternSpec& spec,
 double evaluate_with_format(PruneTask& task, const std::string& format,
                             const std::vector<TilePattern>* patterns = nullptr,
                             const ExecContext& ctx = {});
+
+/// Packs the task's prunable weights under `format` and writes them as
+/// ONE deployment artifact (io/serialize model-weights container) at
+/// `path`; the task is restored to dense execution before returning.
+/// This is the training-side half of the paper's deployment story:
+/// prune once, ship compacted (and, for "tw-int8", quantised) tiles.
+/// Throws std::logic_error when the task has no layer-level packed path.
+void export_packed_weights(PruneTask& task, const std::string& format,
+                           const std::vector<TilePattern>* patterns,
+                           const std::string& path, const ExecContext& ctx = {});
+
+/// The serving-side half: loads the artifact written by
+/// export_packed_weights straight into the task's layers — no
+/// re-pruning, re-packing or re-quantising — evaluates end-to-end, and
+/// restores dense execution.
+double evaluate_from_artifact(PruneTask& task, const std::string& path,
+                              const ExecContext& ctx = {});
 
 // ----------------------------------------------------------------- tasks
 

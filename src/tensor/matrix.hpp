@@ -9,6 +9,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdlib>
+#include <limits>
 #include <new>
 #include <span>
 #include <utility>
@@ -84,6 +85,10 @@ class Matrix {
  private:
   static T* allocate(std::size_t count) {
     if (count == 0) return nullptr;
+    // A count whose byte size wraps std::size_t would allocate a tiny
+    // block and overflow the heap on first fill.
+    if (count > (std::numeric_limits<std::size_t>::max() - 63) / sizeof(T))
+      throw std::bad_alloc{};
     // 64-byte alignment: cache-line aligned rows help the packed GEMM
     // micro-kernel vectorise without peel loops.
     const std::size_t bytes = ((count * sizeof(T) + 63) / 64) * 64;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <tuple>
@@ -432,6 +433,36 @@ TEST(PackedInference, EvaluateWithFormatRoundTrips) {
   EXPECT_NEAR(packed_metric, dense_metric, 1e-9);
   // And the task is back on the dense path afterwards.
   EXPECT_NEAR(task->evaluate(), dense_metric, 1e-9);
+}
+
+TEST(PackedInference, ServesFromDeploymentArtifact) {
+  // The deployment story end-to-end: pack → one artifact file → serve.
+  // Serving from the artifact must reproduce serving from the in-memory
+  // packed objects exactly (nothing is re-packed or re-quantised).
+  auto task = make_bert_cls_task(/*pretrain_steps=*/20, 139);
+
+  std::vector<TilePattern> patterns;
+  for (Param* p : task->prunable()) {
+    const TilePattern pattern =
+        tw_pattern_from_scores(magnitude_scores(p->value), 0.5, 16);
+    apply_pattern(pattern, p->value);
+    patterns.push_back(pattern);
+  }
+
+  const std::string path = "/tmp/tilesparse_task_artifact_test.bin";
+  for (const std::string format : {"tw", "tw-int8"}) {
+    export_packed_weights(*task, format, &patterns, path);
+    const double packed_metric = evaluate_with_format(*task, format, &patterns);
+    const double artifact_metric = evaluate_from_artifact(*task, path);
+    EXPECT_NEAR(artifact_metric, packed_metric, 1e-12) << format;
+  }
+  std::remove(path.c_str());
+
+  // A task without a layer-level packed path refuses cleanly.
+  auto nmt = make_nmt_task(/*pretrain_steps=*/1, 141);
+  EXPECT_THROW(export_packed_weights(*nmt, "dense", nullptr, path),
+               std::logic_error);
+  EXPECT_THROW(evaluate_from_artifact(*nmt, path), std::logic_error);
 }
 
 // ------------------------------------------------------ micro-kernel core

@@ -1,11 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <memory>
 #include <sstream>
+#include <string>
 
 #include "core/tile_exec.hpp"
+#include "exec/backend_registry.hpp"
 #include "io/serialize.hpp"
+#include "io/wire.hpp"
 #include "prune/importance.hpp"
 #include "prune/tw_pruner.hpp"
+#include "sparse/csc.hpp"
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
 
@@ -118,6 +124,178 @@ TEST(Serialize, FileRoundTrip) {
   const TilePattern back = load_pattern(path);
   EXPECT_EQ(back.kept_elements(), pattern.kept_elements());
   EXPECT_THROW(load_pattern("/nonexistent/dir/x.bin"), std::runtime_error);
+}
+
+TEST(Serialize, CscRoundTrip) {
+  Rng rng(51);
+  MatrixF dense(24, 18);
+  for (float& v : dense.flat()) v = rng.uniform() < 0.6f ? 0.0f : rng.normal();
+  const Csc csc = csc_from_dense(dense);
+  std::stringstream buffer;
+  write_csc(buffer, csc);
+  const Csc back = read_csc(buffer);
+  EXPECT_EQ(back.nnz(), csc.nnz());
+  EXPECT_FLOAT_EQ(max_abs_diff(csc_to_dense(back), dense), 0.0f);
+}
+
+TEST(Serialize, CsrRejectsOutOfRangeIndices) {
+  Rng rng(52);
+  MatrixF dense(8, 8);
+  fill_normal(dense, rng);
+  Csr csr = csr_from_dense(dense);
+  csr.col_idx.front() = 100;  // out of [0, cols)
+  std::stringstream buffer;
+  write_csr(buffer, csr);
+  EXPECT_THROW(read_csr(buffer), std::runtime_error);
+}
+
+// ------------------------------------------------- whole-PackedWeight
+
+/// Packs `w` under `format`, supplying a TW pattern and pre-pruning
+/// scores where the format needs them.
+std::unique_ptr<PackedWeight> pack_for_serialize_test(
+    const std::string& format, const MatrixF& w, std::size_t g = 16,
+    double sparsity = 0.6) {
+  const MatrixF scores = magnitude_scores(w);
+  const TilePattern pattern = tw_pattern_from_scores(scores, sparsity, g);
+  PackOptions options;
+  options.pattern = &pattern;
+  options.scores = &scores;
+  return make_packed(format, w, options);
+}
+
+class PackedWeightRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PackedWeightRoundTrip, ReproducesObjectExactly) {
+  const std::string format = GetParam();
+  const MatrixF w = random_matrix(64, 48, 31);
+  const auto packed = pack_for_serialize_test(format, w);
+
+  std::stringstream buffer;
+  write_packed_weight(buffer, *packed);
+  const auto loaded = read_packed_weight(buffer);
+  ASSERT_NE(loaded, nullptr);
+
+  // The loaded object is the same backend with the same payload:
+  // format, shape, storage footprint and reconstruction all exact.
+  EXPECT_EQ(loaded->format(), packed->format());
+  EXPECT_EQ(loaded->k(), packed->k());
+  EXPECT_EQ(loaded->n(), packed->n());
+  EXPECT_EQ(loaded->bytes(), packed->bytes());
+  EXPECT_FLOAT_EQ(max_abs_diff(loaded->to_dense(), packed->to_dense()), 0.0f);
+
+  // And it serves matmul bit-identically — no re-packing and (for
+  // tw-int8) no re-quantisation happened on load.
+  const MatrixF a = random_matrix(8, 64, 37);
+  const ExecContext ctx;
+  EXPECT_FLOAT_EQ(
+      max_abs_diff(loaded->matmul(ctx, a), packed->matmul(ctx, a)), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, PackedWeightRoundTrip,
+                         ::testing::ValuesIn(registered_formats()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST(PackedWeightArtifact, FileRoundTrip) {
+  const MatrixF w = random_matrix(32, 32, 41);
+  const auto packed = pack_for_serialize_test("tw", w);
+  const std::string path = "/tmp/tilesparse_packed_weight_test.bin";
+  save_packed_weight(path, *packed);
+  const auto loaded = load_packed_weight(path);
+  EXPECT_EQ(loaded->format(), "tw");
+  EXPECT_FLOAT_EQ(max_abs_diff(loaded->to_dense(), packed->to_dense()), 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(PackedWeightArtifact, BadMagicThrows) {
+  std::stringstream buffer;
+  write_matrix(buffer, MatrixF(4, 4));  // a matrix is not a container
+  EXPECT_THROW(read_packed_weight(buffer), std::runtime_error);
+}
+
+TEST(PackedWeightArtifact, VersionMismatchThrows) {
+  std::stringstream buffer;
+  wire::write_pod(buffer, wire::kMagicPackedWeight);
+  wire::write_pod<std::uint32_t>(buffer, 999);
+  EXPECT_THROW(read_packed_weight(buffer), std::runtime_error);
+}
+
+TEST(PackedWeightArtifact, UnknownFormatThrows) {
+  std::stringstream buffer;
+  wire::write_pod(buffer, wire::kMagicPackedWeight);
+  wire::write_pod(buffer, wire::kContainerVersion);
+  wire::write_string(buffer, "no-such-format");
+  wire::write_pod<std::uint64_t>(buffer, 4);
+  wire::write_pod<std::uint64_t>(buffer, 4);
+  try {
+    read_packed_weight(buffer);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("no-such-format"), std::string::npos);
+  }
+}
+
+TEST(PackedWeightArtifact, TruncatedPayloadThrows) {
+  for (const std::string& format : registered_formats()) {
+    const MatrixF w = random_matrix(32, 32, 43);
+    const auto packed = pack_for_serialize_test(format, w);
+    std::stringstream buffer;
+    write_packed_weight(buffer, *packed);
+    const std::string full = buffer.str();
+    // Cut inside the payload (past the container header) — every
+    // format must fail with runtime_error, never bad_alloc or UB.
+    std::stringstream truncated(full.substr(0, full.size() * 3 / 4));
+    EXPECT_THROW(read_packed_weight(truncated), std::runtime_error) << format;
+  }
+}
+
+TEST(PackedWeightArtifact, GarbageSizePrefixThrowsNotBadAlloc) {
+  // A corrupt 64-bit length must be rejected against the remaining
+  // stream bytes before any allocation happens.
+  MatrixF w = random_matrix(32, 32, 47);
+  const TilePattern pattern =
+      tw_pattern_from_scores(magnitude_scores(w), 0.5, 16);
+  apply_pattern(pattern, w);
+  std::stringstream buffer;
+  write_tiles(buffer, compact_tiles(w, pattern));
+  std::string bytes = buffer.str();
+  // Offset 8 is the tile-count u64 (after magic + version).
+  for (std::size_t i = 8; i < 16; ++i) bytes[i] = '\xff';
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW(read_tiles(corrupt), std::runtime_error);
+}
+
+TEST(ModelArtifact, RoundTripsNamedLayers) {
+  const MatrixF w1 = random_matrix(32, 48, 53);
+  const MatrixF w2 = random_matrix(48, 16, 59);
+  const auto tw = pack_for_serialize_test("tw", w1);
+  const auto int8 = pack_for_serialize_test("tw-int8", w2);
+
+  std::stringstream buffer;
+  write_model_weights(buffer, {{"ffn.w", tw.get()}, {"head.w", int8.get()}});
+  const auto loaded = read_model_weights(buffer);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].name, "ffn.w");
+  EXPECT_EQ(loaded[0].weight->format(), "tw");
+  EXPECT_EQ(loaded[1].name, "head.w");
+  EXPECT_EQ(loaded[1].weight->format(), "tw-int8");
+  EXPECT_FLOAT_EQ(max_abs_diff(loaded[0].weight->to_dense(), tw->to_dense()),
+                  0.0f);
+  EXPECT_FLOAT_EQ(
+      max_abs_diff(loaded[1].weight->to_dense(), int8->to_dense()), 0.0f);
+}
+
+TEST(ModelArtifact, RejectsPackedWeightContainer) {
+  const MatrixF w = random_matrix(16, 16, 61);
+  const auto packed = pack_for_serialize_test("dense", w);
+  std::stringstream buffer;
+  write_packed_weight(buffer, *packed);  // wrong container kind
+  EXPECT_THROW(read_model_weights(buffer), std::runtime_error);
 }
 
 TEST(Serialize, CalibrationJsonRoundTrip) {
