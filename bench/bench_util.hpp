@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -34,6 +35,12 @@ struct BenchRecord {
   double gflops = 0.0;       ///< 2 * effective MACs / second
   double ns_per_iter = 0.0;  ///< wall time per iteration
   double sparsity = -1.0;    ///< fraction pruned; < 0 when not applicable
+  // Serving-bench fields (bench/serving): emitted only when set.
+  double requests_per_sec = -1.0;  ///< end-to-end model forwards / second
+  std::size_t streams = 0;         ///< scheduler streams (0 = not a serving row)
+  double metric = -1.0;            ///< task metric (fmt_pareto); < 0 when n/a
+  double bytes = -1.0;             ///< packed footprint (fmt_pareto)
+  double macs = -1.0;              ///< effective MACs (fmt_pareto)
 };
 
 class BenchJson {
@@ -57,6 +64,12 @@ class BenchJson {
           << ", \"gflops\": " << r.gflops
           << ", \"ns_per_iter\": " << r.ns_per_iter;
       if (r.sparsity >= 0.0) out << ", \"sparsity\": " << r.sparsity;
+      if (r.requests_per_sec >= 0.0)
+        out << ", \"requests_per_sec\": " << r.requests_per_sec;
+      if (r.streams > 0) out << ", \"streams\": " << r.streams;
+      if (r.metric >= 0.0) out << ", \"metric\": " << r.metric;
+      if (r.bytes >= 0.0) out << ", \"bytes\": " << r.bytes;
+      if (r.macs >= 0.0) out << ", \"macs\": " << r.macs;
       out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
     }
     out << "]\n";
@@ -67,6 +80,37 @@ class BenchJson {
  private:
   std::vector<BenchRecord> records_;
 };
+
+// ------------------------------------------------------- CLI flag helpers
+//
+// One `--name=value` scanner for all bench binaries (each used to roll
+// its own copy).  Unknown flags are left untouched so argv stays
+// parseable by other handlers (e.g. google-benchmark's).
+
+/// The raw value of `--name=...`, or `fallback` when absent.
+inline std::string string_flag(int argc, char** argv, const char* name,
+                               const std::string& fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return argv[i] + prefix.size();
+  }
+  return fallback;
+}
+
+inline double double_flag(int argc, char** argv, const char* name,
+                          double fallback) {
+  const std::string value = string_flag(argc, argv, name, "");
+  return value.empty() ? fallback : std::strtod(value.c_str(), nullptr);
+}
+
+inline std::size_t size_flag(int argc, char** argv, const char* name,
+                             std::size_t fallback) {
+  const std::string value = string_flag(argc, argv, name, "");
+  return value.empty() ? fallback
+                       : static_cast<std::size_t>(
+                             std::strtoull(value.c_str(), nullptr, 10));
+}
 
 /// Extracts and removes a `--json=<path>` argument; returns the path or
 /// "" when absent.  Removal keeps the remaining argv parseable by other

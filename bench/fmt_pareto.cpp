@@ -1,0 +1,110 @@
+// Format Pareto sweep: pack each TW-pruned task under EVERY registered
+// execution format and tabulate task metric vs packed bytes vs
+// effective MACs — the serving-time Pareto view (which format to ship
+// at which sparsity) that used to require a by-hand loop per format.
+//
+// The metric is measured end-to-end with evaluate_with_format (the
+// model truly serves through the packed backend); bytes/MACs come from
+// packing the same pruned weights standalone, so tasks whose packed
+// path is not layer-shaped (conv im2col, LSTM gates) still report
+// storage and compute.
+//
+// Usage: fmt_pareto [--json=PATH] [--pretrain=N] [--finetune=N]
+//                   [--sparsity=PCT] [--m=ROWS] [--task=NAME]
+// --task filters by substring ("bert_cls", "bert_span", "vgg", "nmt").
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "exec/backend_registry.hpp"
+#include "nn/prune_experiment.hpp"
+#include "prune/importance.hpp"
+
+namespace {
+
+using namespace tilesparse;
+using bench::double_flag;
+using bench::size_flag;
+using bench::string_flag;
+
+struct TaskSpec {
+  const char* key;
+  std::function<std::unique_ptr<PruneTask>(int)> make;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::take_json_flag(argc, argv);
+  const int pretrain = static_cast<int>(size_flag(argc, argv, "pretrain", 60));
+  const int finetune = static_cast<int>(size_flag(argc, argv, "finetune", 30));
+  const double sparsity = double_flag(argc, argv, "sparsity", 0.6);
+  const std::size_t m = size_flag(argc, argv, "m", 64);
+  const std::string filter = string_flag(argc, argv, "task", "");
+
+  const std::vector<TaskSpec> specs = {
+      {"bert_cls", [](int steps) { return make_bert_cls_task(steps); }},
+      {"bert_span", [](int steps) { return make_bert_span_task(steps); }},
+      {"vgg", [](int steps) { return make_vgg_task(steps); }},
+      {"nmt", [](int steps) { return make_nmt_task(steps); }},
+  };
+
+  bench::BenchJson json;
+  for (const TaskSpec& spec : specs) {
+    if (!filter.empty() && std::string(spec.key).find(filter) == std::string::npos)
+      continue;
+    auto task = spec.make(pretrain);
+
+    PatternSpec prune_spec;
+    prune_spec.kind = PatternKind::kTw;
+    prune_spec.sparsity = sparsity;
+    prune_spec.g = 8;
+    const PruneResult pruned = prune_and_evaluate(*task, prune_spec, finetune);
+
+    std::printf("\n%s  (TW sparsity %.2f, pruned metric %.3f)\n",
+                task->name().c_str(), pruned.achieved_sparsity, pruned.metric);
+    std::printf("%-10s %10s %12s %14s\n", "format", "metric", "KiB", "MACs");
+
+    for (const std::string& format : registered_formats()) {
+      const double metric =
+          evaluate_with_format(*task, format, &pruned.patterns);
+
+      // Storage/compute from packing the same pruned weights standalone.
+      double bytes = 0.0, macs = 0.0;
+      const std::vector<Param*> weights = task->prunable();
+      std::vector<MatrixF> scores;
+      scores.reserve(weights.size());
+      for (const Param* p : weights) scores.push_back(magnitude_scores(p->value));
+      for (std::size_t i = 0; i < weights.size(); ++i) {
+        PackOptions options;
+        if (i < pruned.patterns.size()) options.pattern = &pruned.patterns[i];
+        options.scores = &scores[i];
+        const auto packed = make_packed(format, weights[i]->value, options);
+        bytes += static_cast<double>(packed->bytes());
+        macs += packed->macs(m);
+      }
+      std::printf("%-10s %10.3f %12.1f %14.0f\n", format.c_str(), metric,
+                  bytes / 1024.0, macs);
+
+      bench::BenchRecord record;
+      record.name = "fmt_pareto/" + std::string(spec.key) + "/s" +
+                    std::to_string(static_cast<int>(sparsity * 100));
+      record.format = format;
+      record.m = m;
+      record.sparsity = pruned.achieved_sparsity;
+      record.metric = metric;
+      record.bytes = bytes;
+      record.macs = macs;
+      json.add(record);
+    }
+  }
+
+  if (!json_path.empty() && !json.empty()) json.write(json_path);
+  return 0;
+}

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "exec/backend_registry.hpp"
 #include "io/serialize.hpp"
 #include "prune/importance.hpp"
@@ -24,25 +25,13 @@
 
 using namespace tilesparse;
 
-namespace {
-
-std::size_t flag_value(int argc, char** argv, const char* name,
-                       std::size_t fallback) {
-  const std::string prefix = std::string("--") + name + "=";
-  for (int i = 1; i < argc; ++i)
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
-      return static_cast<std::size_t>(std::atoll(argv[i] + prefix.size()));
-  return fallback;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const std::size_t k = flag_value(argc, argv, "k", 3072);
-  const std::size_t n = flag_value(argc, argv, "n", 768);
-  const std::size_t layers = flag_value(argc, argv, "layers", 4);
+  using tilesparse::bench::size_flag;
+  const std::size_t k = size_flag(argc, argv, "k", 3072);
+  const std::size_t n = size_flag(argc, argv, "n", 768);
+  const std::size_t layers = size_flag(argc, argv, "layers", 4);
   const double sparsity =
-      static_cast<double>(flag_value(argc, argv, "sparsity", 75)) / 100.0;
+      static_cast<double>(size_flag(argc, argv, "sparsity", 75)) / 100.0;
 
   // One BERT-ish FFN weight per layer, pruned once (training-time cost,
   // not measured here) — the bench compares what happens after.

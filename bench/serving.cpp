@@ -1,0 +1,129 @@
+// Serving throughput: requests/sec through the model-level ExecGraph
+// vs stream count vs weight format, at an EQUAL total thread budget —
+// the measurement behind the stream-assignment claim (paper Fig. 7-4):
+// on small serving GEMMs, overlapping independent layers across
+// streams (with very wide outputs column-sharded) beats spending the
+// same threads inside one GEMM at a time.
+//
+//   streams=1  -> the single-stream fallback: the graph executed
+//                 serially, OpenMP threads *inside* each kernel.
+//   streams=S  -> S scheduler streams, budget/S threads per kernel.
+//
+// Usage: serving [--json=PATH] [--batch=N] [--budget=T] [--layers=L]
+//                [--dim=D] [--ffn=F] [--seq=S] [--secs=X]
+// Defaults measure real BERT-mini shapes (L4/H256/FFN1024, seq 32).
+// --secs bounds the measuring time per configuration (tiny CI smoke:
+// --secs=0.05 --batch=2 --dim=64 --ffn=128 --layers=2 --seq=8).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "exec/scheduler.hpp"
+#include "nn/bert_mini.hpp"
+#include "util/stopwatch.hpp"
+#include "util/threadpool.hpp"
+#include "workload/datasets.hpp"
+
+namespace {
+
+using namespace tilesparse;
+using bench::double_flag;
+using bench::size_flag;
+
+struct Measured {
+  double requests_per_sec = 0.0;
+  double ms_per_request = 0.0;
+};
+
+/// Serves `batch`-sized requests for ~secs and returns the rate.
+Measured serve(BertMini& model, const TokenTeacherDataset& dataset,
+               std::size_t batch, double secs) {
+  Rng rng(4242);
+  const TokenBatch request = dataset.sample(batch, rng);
+  model.forward(request);  // warm-up: graph build, panel packs, pool spin-up
+  Stopwatch sw;
+  std::size_t served = 0;
+  do {
+    (void)model.forward(request);
+    ++served;
+  } while (sw.seconds() < secs);
+  const double elapsed = sw.seconds();  // one read: both fields consistent
+  Measured out;
+  out.ms_per_request = elapsed * 1e3 / static_cast<double>(served);
+  out.requests_per_sec = static_cast<double>(served) / elapsed;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::take_json_flag(argc, argv);
+  const std::size_t batch = size_flag(argc, argv, "batch", 8);
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t budget = size_flag(argc, argv, "budget", hw > 0 ? hw : 4);
+  const double secs = double_flag(argc, argv, "secs", 0.5);
+
+  BertMiniConfig config;
+  config.dim = size_flag(argc, argv, "dim", 256);
+  config.heads = 4;
+  config.layers = size_flag(argc, argv, "layers", 4);
+  config.ffn_dim = size_flag(argc, argv, "ffn", 1024);
+  config.seq = size_flag(argc, argv, "seq", 32);
+  const TokenTeacherDataset dataset(64, config.seq, config.classes,
+                                    config.dim, 77);
+  BertMini model(config, dataset.embedding());
+
+  std::vector<std::size_t> stream_counts{1, 2, 4};
+  if (budget >= 8) stream_counts.push_back(8);
+
+  bench::BenchJson json;
+  std::printf(
+      "serving bert-mini dim=%zu ffn=%zu layers=%zu seq=%zu batch=%zu "
+      "budget=%zu threads\n",
+      config.dim, config.ffn_dim, config.layers, config.seq, batch, budget);
+  std::printf("%-8s %-8s %12s %12s %10s\n", "format", "streams", "req/s",
+              "ms/req", "speedup");
+
+  for (const std::string format : {"dense", "csr"}) {
+    double baseline = 0.0;
+    for (const std::size_t streams : stream_counts) {
+      ExecContext ctx;
+      ctx.threads = static_cast<int>(std::max<std::size_t>(1, budget / streams));
+      model.pack_weights(format, nullptr, ctx);
+
+      SchedulerOptions options;
+      options.streams = streams;
+      options.reference_m = batch * config.seq;
+      ExecScheduler scheduler(options);
+      model.set_exec_scheduler(&scheduler);
+      const Measured measured = serve(model, dataset, batch, secs);
+      model.set_exec_scheduler(nullptr);
+      model.clear_packed_weights();
+
+      if (streams == 1) baseline = measured.requests_per_sec;
+      const double speedup =
+          baseline > 0.0 ? measured.requests_per_sec / baseline : 1.0;
+      std::printf("%-8s %-8zu %12.1f %12.3f %9.2fx\n", format.c_str(), streams,
+                  measured.requests_per_sec, measured.ms_per_request, speedup);
+
+      bench::BenchRecord record;
+      record.name = "serving/bert-mini/b" + std::to_string(batch);
+      record.format = format;
+      record.m = batch * config.seq;
+      record.k = config.dim;
+      record.n = config.ffn_dim;
+      record.ns_per_iter = measured.ms_per_request * 1e6;
+      record.requests_per_sec = measured.requests_per_sec;
+      record.streams = streams;
+      json.add(record);
+    }
+  }
+
+  if (!json_path.empty() && !json.empty()) json.write(json_path);
+  return 0;
+}

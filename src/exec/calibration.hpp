@@ -40,8 +40,12 @@ struct PlannerCalibration {
   bool measured() const noexcept { return dense_gflops > 0.0; }
 };
 
-/// Process-wide calibration the planner uses by default.  Starts as the
-/// uncalibrated constants above.
+/// Process-wide calibration the planner uses by default.  On first use
+/// it auto-loads a host artifact: the file named by the
+/// TS_PLANNER_CALIBRATION environment variable, else
+/// "planner_calibration.json" in the working directory (where
+/// calibrate_planner writes it); any failure silently falls back to
+/// the uncalibrated constants above.
 const PlannerCalibration& planner_calibration() noexcept;
 
 /// Installs `calibration` as the process-wide default.  Thread-

@@ -33,6 +33,13 @@ class CsrWeight final : public PackedWeight {
   double macs(std::size_t m) const noexcept override;
   std::string_view format() const noexcept override { return "csr"; }
 
+  /// The SpMM kernel scatters each output column's terms in ascending
+  /// K order independent of the other columns, so a CSR column slice
+  /// executes bit-identically.
+  bool col_shardable() const noexcept override { return true; }
+  std::unique_ptr<PackedWeight> shard_cols(std::size_t n0,
+                                           std::size_t n1) const override;
+
   const Csr& csr() const noexcept { return csr_; }
 
  protected:

@@ -36,6 +36,19 @@ double DenseWeight::macs(std::size_t m) const noexcept {
 
 bool DenseWeight::supports(Numerics) const noexcept { return true; }
 
+std::unique_ptr<PackedWeight> DenseWeight::shard_cols(std::size_t n0,
+                                                      std::size_t n1) const {
+  if (n0 >= n1 || n1 > n())
+    throw std::invalid_argument("DenseWeight::shard_cols: bad column range");
+  MatrixF slice(k(), n1 - n0);
+  for (std::size_t r = 0; r < k(); ++r) {
+    const float* src = weights_.data() + r * n() + n0;
+    float* dst = slice.data() + r * slice.cols();
+    for (std::size_t j = 0; j < slice.cols(); ++j) dst[j] = src[j];
+  }
+  return std::make_unique<DenseWeight>(std::move(slice), config_);
+}
+
 void DenseWeight::accumulate(const ExecContext& ctx, const MatrixF& a,
                              MatrixF& c) const {
   if (ctx.int8()) {

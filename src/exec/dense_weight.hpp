@@ -31,6 +31,13 @@ class DenseWeight final : public PackedWeight {
   std::string_view format() const noexcept override { return "dense"; }
   bool supports(Numerics numerics) const noexcept override;
 
+  /// Dense columns are independent (the micro-kernel accumulates each
+  /// output column over K in a fixed order regardless of which columns
+  /// share the panel), so a column slice executes bit-identically.
+  bool col_shardable() const noexcept override { return true; }
+  std::unique_ptr<PackedWeight> shard_cols(std::size_t n0,
+                                           std::size_t n1) const override;
+
  protected:
   void accumulate(const ExecContext& ctx, const MatrixF& a,
                   MatrixF& c) const override;

@@ -1,0 +1,160 @@
+#include "exec/graph.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace tilesparse {
+
+ExecGraph::ExecGraph() {
+  static std::atomic<std::uint64_t> next_id{1};
+  build_id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+ExecGraph::SlotId ExecGraph::add_slot(std::string name) {
+  Slot slot;
+  slot.name = std::move(name);
+  slots_.push_back(std::move(slot));
+  return slots_.size() - 1;
+}
+
+void ExecGraph::check_slot(SlotId id, const char* what) const {
+  if (id >= slots_.size()) {
+    throw std::invalid_argument(std::string("ExecGraph: ") + what +
+                                " slot out of range");
+  }
+}
+
+void ExecGraph::link(NodeId node, const std::vector<SlotId>& reads,
+                     const std::vector<SlotId>& writes) {
+  auto depend_on = [&](NodeId before) {
+    if (before == node) return;
+    auto& deps = nodes_[node].deps;
+    if (std::find(deps.begin(), deps.end(), before) == deps.end()) {
+      deps.push_back(before);
+      nodes_[before].dependents.push_back(node);
+    }
+  };
+  for (SlotId id : reads) {
+    Slot& slot = slots_[id];
+    if (slot.written) depend_on(slot.last_writer);  // RAW
+    slot.readers_since_write.push_back(node);
+  }
+  for (SlotId id : writes) {
+    Slot& slot = slots_[id];
+    if (slot.written) depend_on(slot.last_writer);  // WAW
+    for (NodeId reader : slot.readers_since_write) depend_on(reader);  // WAR
+    slot.written = true;
+    slot.last_writer = node;
+    slot.readers_since_write.clear();
+  }
+}
+
+ExecGraph::NodeId ExecGraph::add_gemm(std::string name,
+                                      const PackedWeight* weight, SlotId in,
+                                      SlotId out, const ExecContext& ctx,
+                                      const MatrixF* bias) {
+  if (!weight) throw std::invalid_argument("ExecGraph::add_gemm: null weight");
+  check_slot(in, "gemm input");
+  check_slot(out, "gemm output");
+  if (in == out) {
+    throw std::invalid_argument(
+        "ExecGraph::add_gemm: in-place GEMM is not supported");
+  }
+  Node node;
+  node.name = std::move(name);
+  node.kind = NodeKind::kGemm;
+  node.weight = weight;
+  node.in = in;
+  node.out = out;
+  node.ctx = ctx;
+  node.ctx.alpha = 1.0f;
+  node.ctx.beta = 0.0f;
+  node.bias = bias;
+  nodes_.push_back(std::move(node));
+  const NodeId id = nodes_.size() - 1;
+  link(id, {in}, {out});
+  return id;
+}
+
+ExecGraph::NodeId ExecGraph::add_host(std::string name,
+                                      std::vector<SlotId> reads,
+                                      std::vector<SlotId> writes,
+                                      std::function<void(ExecGraph&)> fn) {
+  if (!fn) throw std::invalid_argument("ExecGraph::add_host: null body");
+  for (SlotId id : reads) check_slot(id, "host read");
+  for (SlotId id : writes) check_slot(id, "host write");
+  Node node;
+  node.name = std::move(name);
+  node.kind = NodeKind::kHost;
+  node.fn = std::move(fn);
+  nodes_.push_back(std::move(node));
+  const NodeId id = nodes_.size() - 1;
+  link(id, reads, writes);
+  return id;
+}
+
+void ExecGraph::add_dep(NodeId node, NodeId before) {
+  if (node >= nodes_.size() || before >= nodes_.size()) {
+    throw std::invalid_argument("ExecGraph::add_dep: node out of range");
+  }
+  if (before >= node) {
+    // Edges may only point at earlier nodes: the build order is the
+    // proof the graph stays acyclic.
+    throw std::invalid_argument(
+        "ExecGraph::add_dep: dependency must precede the node");
+  }
+  auto& deps = nodes_[node].deps;
+  if (std::find(deps.begin(), deps.end(), before) == deps.end()) {
+    deps.push_back(before);
+    nodes_[before].dependents.push_back(node);
+  }
+}
+
+std::size_t ExecGraph::max_gemm_width() const {
+  // Width = the largest set of GEMM nodes pairwise unreachable from one
+  // another.  Exact antichain width is overkill for a diagnostic; we
+  // count GEMMs per dependency depth level and take the maximum, which
+  // is exact for the layered graphs the models build.
+  std::vector<std::size_t> depth(nodes_.size(), 0);
+  std::size_t max_depth = 0;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    for (NodeId dep : nodes_[id].deps)
+      depth[id] = std::max(depth[id], depth[dep] + 1);
+    max_depth = std::max(max_depth, depth[id]);
+  }
+  std::vector<std::size_t> gemms_at(max_depth + 1, 0);
+  std::size_t width = 0;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].kind == NodeKind::kGemm)
+      width = std::max(width, ++gemms_at[depth[id]]);
+  }
+  return width;
+}
+
+std::vector<ExecGraph::NodeId> ExecGraph::topo_order() const {
+  // Edges always point at earlier nodes (enforced in add_dep and
+  // implied by the dataflow linking), so insertion order is topological.
+  std::vector<NodeId> order(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) order[id] = id;
+  return order;
+}
+
+void ExecGraph::execute_node(NodeId id) {
+  Node& node = nodes_.at(id);
+  if (node.kind == NodeKind::kHost) {
+    node.fn(*this);
+    return;
+  }
+  const MatrixF& a = slot(node.in);
+  MatrixF& c = slot(node.out);
+  if (c.rows() != a.rows() || c.cols() != node.weight->n()) {
+    c = MatrixF(a.rows(), node.weight->n());
+  }
+  node.weight->matmul(node.ctx, a, c);
+  if (node.bias) add_row_bias(c, *node.bias);
+}
+
+}  // namespace tilesparse

@@ -44,6 +44,13 @@ bool PackedWeight::supports(Numerics numerics) const noexcept {
   return numerics != Numerics::kInt8;
 }
 
+std::unique_ptr<PackedWeight> PackedWeight::shard_cols(std::size_t,
+                                                       std::size_t) const {
+  throw std::logic_error(std::string("PackedWeight::shard_cols: format '") +
+                         std::string(format()) +
+                         "' does not support exact column slicing");
+}
+
 void PackedWeight::save(std::ostream&) const {
   throw std::logic_error(std::string("PackedWeight::save: format '") +
                          std::string(format()) +

@@ -67,6 +67,23 @@ class PackedWeight {
   /// or a format that quantises dynamically.
   virtual bool supports(Numerics numerics) const noexcept;
 
+  /// True when shard_cols() can slice this format exactly.  A format
+  /// may claim shardability only when, for every output element, the
+  /// slice accumulates the same terms in the same order as the whole
+  /// weight — so a shard-and-join matmul is bit-identical to the
+  /// unsharded one.  Column-independent formats (dense, csr) qualify;
+  /// tile-based formats (whose tiles span column groups) and anything
+  /// with whole-matrix quantisation scales do not.
+  virtual bool col_shardable() const noexcept { return false; }
+
+  /// Returns a packed weight executing only columns [n0, n1) of this
+  /// one (K x (n1 - n0)); used by the ExecScheduler to split very
+  /// wide-N GEMM nodes across streams.  Throws std::logic_error when
+  /// the format is not col_shardable(), std::invalid_argument on an
+  /// empty or out-of-range column range.
+  virtual std::unique_ptr<PackedWeight> shard_cols(std::size_t n0,
+                                                   std::size_t n1) const;
+
   std::size_t k() const noexcept { return k_; }
   std::size_t n() const noexcept { return n_; }
 

@@ -1,0 +1,243 @@
+#include "exec/scheduler.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace tilesparse {
+namespace {
+
+/// Dense rate assumed when the host never ran calibrate_planner; only
+/// sets the sharding floor, so an order of magnitude is enough.
+constexpr double kFallbackDenseGflops = 8.0;
+
+}  // namespace
+
+ExecScheduler::ExecScheduler(SchedulerOptions options, ThreadPool* pool)
+    : options_(options), pool_(pool ? pool : &ThreadPool::global()) {
+  if (options_.min_shard_cols == 0) options_.min_shard_cols = 1;
+}
+
+std::size_t ExecScheduler::streams() const noexcept {
+  return options_.streams > 0 ? options_.streams : pool_->worker_count();
+}
+
+std::size_t ExecScheduler::shard_count(const ExecGraph::Node& node) const {
+  if (node.kind != ExecGraph::NodeKind::kGemm) return 1;
+  if (!options_.shard_wide_n) return 1;
+  const std::size_t streams = this->streams();
+  if (streams < 2) return 1;
+  // Per-tensor dynamic int8 scales are a property of the *whole*
+  // weight; slicing would re-quantise and change results.
+  if (!node.weight->col_shardable() || node.ctx.int8()) return 1;
+
+  const PlannerCalibration& calibration =
+      options_.calibration ? *options_.calibration : planner_calibration();
+  const double gflops =
+      calibration.measured() ? calibration.dense_gflops : kFallbackDenseGflops;
+  // gflops * 1e9 flop/s * overhead_us * 1e-6 s, at 2 flops per MAC.
+  const double min_macs_per_shard =
+      std::max(1.0, gflops * options_.dispatch_overhead_us * 1e3 / 2.0);
+  const double macs = node.weight->macs(options_.reference_m);
+  const auto by_cost = static_cast<std::size_t>(macs / min_macs_per_shard);
+  const std::size_t by_cols = node.weight->n() / options_.min_shard_cols;
+  return std::max<std::size_t>(1, std::min({streams, by_cost, by_cols}));
+}
+
+void ExecScheduler::prepare(ExecGraph& graph) {
+  const auto& nodes = graph.nodes();
+  if (planned_build_id_ == graph.build_id() &&
+      planned_node_count_ == nodes.size() && planned_streams_ == streams()) {
+    return;
+  }
+  plans_.clear();
+  plans_.resize(nodes.size());
+  planned_sharded_nodes_ = 0;
+  planned_shards_ = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const std::size_t count = shard_count(nodes[i]);
+    if (count < 2) continue;
+    const std::size_t n = nodes[i].weight->n();
+    const std::size_t base = n / count, rem = n % count;
+    std::size_t n0 = 0;
+    plans_[i].shards.reserve(count);
+    for (std::size_t s = 0; s < count; ++s) {
+      const std::size_t n1 = n0 + base + (s < rem ? 1 : 0);
+      Shard shard;
+      shard.weight = nodes[i].weight->shard_cols(n0, n1);
+      shard.n0 = n0;
+      shard.n1 = n1;
+      plans_[i].shards.push_back(std::move(shard));
+      n0 = n1;
+    }
+  }
+
+  // Expand nodes into dispatch tasks: one per whole node, or S column
+  // shards plus a join for sharded GEMMs.  The expansion is static
+  // across runs; only the pending counters are per-run state.
+  tasks_.clear();
+  initially_ready_.clear();
+  std::vector<std::vector<std::size_t>> entry(nodes.size());  // receive deps
+  std::vector<std::size_t> exit(nodes.size());                // signal dependents
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const std::vector<Shard>& shards = plans_[i].shards;
+    if (shards.empty()) {
+      Task task;
+      task.node = i;
+      task.initial_pending = nodes[i].deps.size();
+      tasks_.push_back(std::move(task));
+      entry[i] = {tasks_.size() - 1};
+      exit[i] = tasks_.size() - 1;
+      continue;
+    }
+    ++planned_sharded_nodes_;
+    const std::size_t join_id = tasks_.size() + shards.size();
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      Task task;
+      task.node = i;
+      task.shard = static_cast<std::ptrdiff_t>(s);
+      task.initial_pending = nodes[i].deps.size();
+      task.successors = {join_id};
+      tasks_.push_back(std::move(task));
+      entry[i].push_back(tasks_.size() - 1);
+      ++planned_shards_;
+    }
+    Task join;
+    join.node = i;
+    join.shard = -2;
+    join.initial_pending = shards.size();
+    tasks_.push_back(std::move(join));
+    exit[i] = join_id;
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (ExecGraph::NodeId dependent : nodes[i].dependents) {
+      auto& successors = tasks_[exit[i]].successors;
+      successors.insert(successors.end(), entry[dependent].begin(),
+                        entry[dependent].end());
+    }
+  }
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    if (tasks_[t].initial_pending == 0) initially_ready_.push_back(t);
+  }
+
+  planned_build_id_ = graph.build_id();
+  planned_node_count_ = nodes.size();
+  planned_streams_ = streams();
+}
+
+void ExecScheduler::run_serial(ExecGraph& graph) {
+  for (ExecGraph::NodeId id : graph.topo_order()) graph.execute_node(id);
+  stats_ = RunStats{};
+  stats_.nodes = graph.node_count();
+  stats_.tasks = graph.node_count();
+}
+
+void ExecScheduler::run(ExecGraph& graph) {
+  if (graph.node_count() == 0) {
+    stats_ = RunStats{};
+    return;
+  }
+  if (streams() <= 1) {
+    run_serial(graph);
+    return;
+  }
+  run_concurrent(graph);
+}
+
+void ExecScheduler::execute_task(ExecGraph& graph, const Task& task) {
+  if (task.shard == -1) {
+    graph.execute_node(task.node);
+    return;
+  }
+  const ExecGraph::Node& node = graph.nodes()[task.node];
+  if (task.shard >= 0) {
+    Shard& shard = plans_[task.node].shards[static_cast<std::size_t>(task.shard)];
+    const MatrixF& a = graph.slot(node.in);
+    const std::size_t width = shard.n1 - shard.n0;
+    if (shard.scratch.rows() != a.rows() || shard.scratch.cols() != width)
+      shard.scratch = MatrixF(a.rows(), width);
+    shard.weight->matmul(node.ctx, a, shard.scratch);
+    return;
+  }
+  // Join: stitch the shard columns into the output slot, then bias.
+  const MatrixF& a = graph.slot(node.in);
+  MatrixF& c = graph.slot(node.out);
+  if (c.rows() != a.rows() || c.cols() != node.weight->n())
+    c = MatrixF(a.rows(), node.weight->n());
+  for (const Shard& shard : plans_[task.node].shards) {
+    const std::size_t width = shard.n1 - shard.n0;
+    for (std::size_t r = 0; r < c.rows(); ++r) {
+      const float* src = shard.scratch.data() + r * width;
+      float* dst = c.data() + r * c.cols() + shard.n0;
+      for (std::size_t j = 0; j < width; ++j) dst[j] = src[j];
+    }
+  }
+  if (node.bias) add_row_bias(c, *node.bias);
+}
+
+void ExecScheduler::run_concurrent(ExecGraph& graph) {
+  prepare(graph);
+  stats_ = RunStats{};
+  stats_.nodes = graph.node_count();
+  stats_.tasks = tasks_.size();
+  stats_.sharded_nodes = planned_sharded_nodes_;
+  stats_.shards = planned_shards_;
+
+  // Per-run state: pending counters and the ready queue, seeded from
+  // the cached expansion.  Everything below the mutex; the kernels
+  // themselves run unlocked.
+  std::vector<std::size_t> pending(tasks_.size());
+  for (std::size_t t = 0; t < tasks_.size(); ++t)
+    pending[t] = tasks_[t].initial_pending;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::size_t> ready = initially_ready_;
+  std::size_t next_ready = 0;
+  std::size_t executed = 0;
+  bool aborted = false;
+  std::exception_ptr error;
+
+  auto stream_loop = [&](std::size_t) {
+    std::unique_lock lock(mutex);
+    for (;;) {
+      cv.wait(lock, [&] {
+        return aborted || executed == tasks_.size() || next_ready < ready.size();
+      });
+      if (aborted || executed == tasks_.size()) return;
+      const std::size_t id = ready[next_ready++];
+      lock.unlock();
+      try {
+        execute_task(graph, tasks_[id]);
+      } catch (...) {
+        lock.lock();
+        if (!error) error = std::current_exception();
+        aborted = true;
+        cv.notify_all();
+        return;
+      }
+      lock.lock();
+      ++executed;
+      bool woke_any = false;
+      for (std::size_t successor : tasks_[id].successors) {
+        if (--pending[successor] == 0) {
+          ready.push_back(successor);
+          woke_any = true;
+        }
+      }
+      if (executed == tasks_.size() || woke_any) cv.notify_all();
+    }
+  };
+
+  pool_->parallel_for(0, streams(), stream_loop);
+  if (error) std::rethrow_exception(error);
+  if (executed != tasks_.size()) {
+    throw std::logic_error("ExecScheduler: graph did not complete");
+  }
+}
+
+}  // namespace tilesparse

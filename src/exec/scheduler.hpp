@@ -1,0 +1,134 @@
+#pragma once
+// ExecScheduler — runs an ExecGraph on the shared ThreadPool.
+//
+// The scheduler is the paper's Fig. 7-4 stream assignment on CPU
+// workers: each "stream" is one pool worker looping over a shared
+// ready queue, so independent nodes (the four attention projections,
+// an NMT model's encoder/decoder input GEMMs) execute concurrently
+// while dependency edges hold everything else in dataflow order.
+// Every node's arithmetic is unchanged — scheduling only reorders
+// *which* node runs when — so a scheduled run is bit-identical to the
+// single-stream reference (streams = 1), which executes the graph
+// serially on the calling thread with no queueing at all.
+//
+// Wide-N sharding: a GEMM whose output is very wide can be split into
+// column shards with a final join (the second axis of the paper's
+// scheme).  Shards are exact column slices of the packed weight —
+// PackedWeight::shard_cols(), implemented by the formats whose column
+// arithmetic is independent (dense, csr) — each computing its columns
+// into private scratch; the join copies them into the output slot and
+// applies the bias.  Per output element the accumulation sequence is
+// the one the whole weight would have used, so sharded results stay
+// bit-identical too.  Shard granularity comes from the
+// PlannerCalibration cost model: a shard must carry enough MACs to
+// amortise one dispatch, measured against the host's dense rate.
+//
+// Thread budget: a node's ExecContext.threads still bounds the OpenMP
+// parallelism *inside* its kernel, so "S streams x T threads each"
+// composes with an overall budget of S*T.  GemmScratch is
+// thread_local, so every stream (pool worker) packs panels into its
+// own buffers — no scratch is shared across streams.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "exec/calibration.hpp"
+#include "exec/graph.hpp"
+#include "util/threadpool.hpp"
+
+namespace tilesparse {
+
+struct SchedulerOptions {
+  /// Concurrent worker streams.  1 = single-stream reference (serial,
+  /// no queue, no shards); 0 = the pool's worker count.
+  std::size_t streams = 0;
+  /// Split very wide GEMM outputs into column shards (formats that
+  /// support exact column slicing only; int8 activation nodes are
+  /// never sharded — per-tensor dynamic scales are not sliceable).
+  bool shard_wide_n = true;
+  /// Never split below this many output columns per shard.
+  std::size_t min_shard_cols = 32;
+  /// Activation rows assumed when sizing shards (the plan is built
+  /// before inputs exist; serving batches near this keep shards
+  /// balanced).
+  std::size_t reference_m = 64;
+  /// Estimated cost of dispatching one task; the calibration's dense
+  /// rate converts it into a minimum per-shard MAC count.
+  double dispatch_overhead_us = 20.0;
+  /// Cost-model constants; null uses the process-wide
+  /// planner_calibration().
+  const PlannerCalibration* calibration = nullptr;
+};
+
+class ExecScheduler {
+ public:
+  /// `pool` must outlive the scheduler; null uses ThreadPool::global().
+  explicit ExecScheduler(SchedulerOptions options = {},
+                         ThreadPool* pool = nullptr);
+
+  /// Executes every node of `graph` in dependency order, overlapping
+  /// independent nodes across streams.  Blocks until the graph is
+  /// complete.  The first exception a node throws is rethrown here
+  /// (remaining nodes are abandoned, already-running ones finish).
+  /// Not reentrant: one run at a time per scheduler.
+  void run(ExecGraph& graph);
+
+  const SchedulerOptions& options() const noexcept { return options_; }
+
+  /// Streams the next run will use (options resolved against the pool).
+  std::size_t streams() const noexcept;
+
+  /// Diagnostics of the most recent run().
+  struct RunStats {
+    std::size_t nodes = 0;          ///< graph nodes executed
+    std::size_t tasks = 0;          ///< dispatch units (shards + joins included)
+    std::size_t sharded_nodes = 0;  ///< GEMM nodes split into column shards
+    std::size_t shards = 0;         ///< total shard tasks
+  };
+  const RunStats& last_stats() const noexcept { return stats_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<PackedWeight> weight;  ///< columns [n0, n1) of the node's weight
+    std::size_t n0 = 0, n1 = 0;
+    MatrixF scratch;  ///< m x (n1 - n0), reused across runs
+  };
+  struct NodePlan {
+    std::vector<Shard> shards;  ///< empty = execute the node whole
+  };
+  /// One dispatch unit of the expanded task DAG (static across runs;
+  /// only the pending counters are per-run state).
+  struct Task {
+    ExecGraph::NodeId node = 0;
+    std::ptrdiff_t shard = -1;  ///< >= 0: shard index; -1: whole node; -2: join
+    std::size_t initial_pending = 0;
+    std::vector<std::size_t> successors;
+  };
+
+  void prepare(ExecGraph& graph);
+  std::size_t shard_count(const ExecGraph::Node& node) const;
+  void execute_task(ExecGraph& graph, const Task& task);
+  void run_serial(ExecGraph& graph);
+  void run_concurrent(ExecGraph& graph);
+
+  SchedulerOptions options_;
+  ThreadPool* pool_;
+  // Plan cache: shard slices repack weight columns and the task DAG
+  // expansion allocates, so both are built once per (graph build id,
+  // node count, stream count) — the serving hot path re-runs the same
+  // graph per request.  Models allocate a fresh ExecGraph (fresh build
+  // id) whenever weights are re-packed; the node count catches a graph
+  // that grew new nodes in place.
+  std::uint64_t planned_build_id_ = 0;
+  std::size_t planned_node_count_ = 0;
+  std::size_t planned_streams_ = 0;
+  std::vector<NodePlan> plans_;
+  std::vector<Task> tasks_;
+  std::vector<std::size_t> initially_ready_;
+  std::size_t planned_sharded_nodes_ = 0;
+  std::size_t planned_shards_ = 0;
+  RunStats stats_;
+};
+
+}  // namespace tilesparse

@@ -56,15 +56,9 @@ std::vector<Linear*> MultiHeadAttention::projection_layers() {
   return {&q_, &k_, &v_, &out_};
 }
 
-MatrixF MultiHeadAttention::forward(const MatrixF& x) {
-  assert(x.cols() == dim_ && x.rows() % seq_ == 0);
-  const std::size_t batch = x.rows() / seq_;
-
-  q_act_ = q_.forward(x);
-  k_act_ = k_.forward(x);
-  v_act_ = v_.forward(x);
-
-  MatrixF context(x.rows(), dim_);
+void MultiHeadAttention::attention_core(const MatrixF& q, const MatrixF& k,
+                                        const MatrixF& v, MatrixF& context) {
+  const std::size_t batch = q.rows() / seq_;
   attn_.assign(batch * heads_, MatrixF{});
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
 
@@ -74,9 +68,9 @@ MatrixF MultiHeadAttention::forward(const MatrixF& x) {
       // scores(s, t) = scale * <q_s, k_t> over this head's columns.
       MatrixF scores(seq_, seq_);
       for (std::size_t s = 0; s < seq_; ++s) {
-        const float* qrow = q_act_.data() + (b * seq_ + s) * dim_ + col0;
+        const float* qrow = q.data() + (b * seq_ + s) * dim_ + col0;
         for (std::size_t t = 0; t < seq_; ++t) {
-          const float* krow = k_act_.data() + (b * seq_ + t) * dim_ + col0;
+          const float* krow = k.data() + (b * seq_ + t) * dim_ + col0;
           float dot = 0.0f;
           for (std::size_t d = 0; d < head_dim_; ++d) dot += qrow[d] * krow[d];
           scores(s, t) = dot * scale;
@@ -88,14 +82,47 @@ MatrixF MultiHeadAttention::forward(const MatrixF& x) {
         float* crow = context.data() + (b * seq_ + s) * dim_ + col0;
         for (std::size_t t = 0; t < seq_; ++t) {
           const float p = scores(s, t);
-          const float* vrow = v_act_.data() + (b * seq_ + t) * dim_ + col0;
+          const float* vrow = v.data() + (b * seq_ + t) * dim_ + col0;
           for (std::size_t d = 0; d < head_dim_; ++d) crow[d] += p * vrow[d];
         }
       }
       attn_[b * heads_ + h] = std::move(scores);
     }
   }
+}
+
+MatrixF MultiHeadAttention::forward(const MatrixF& x) {
+  assert(x.cols() == dim_ && x.rows() % seq_ == 0);
+  q_act_ = q_.forward(x);
+  k_act_ = k_.forward(x);
+  v_act_ = v_.forward(x);
+  MatrixF context(x.rows(), dim_);
+  attention_core(q_act_, k_act_, v_act_, context);
   return out_.forward(context);
+}
+
+ExecGraph::NodeId MultiHeadAttention::add_to_graph(ExecGraph& graph,
+                                                   ExecGraph::SlotId in,
+                                                   ExecGraph::SlotId out) {
+  const ExecGraph::SlotId q = graph.add_slot(q_.weight().name + ".act");
+  const ExecGraph::SlotId k = graph.add_slot(k_.weight().name + ".act");
+  const ExecGraph::SlotId v = graph.add_slot(v_.weight().name + ".act");
+  const ExecGraph::SlotId context =
+      graph.add_slot(out_.weight().name + ".context");
+  q_.add_to_graph(graph, in, q);
+  k_.add_to_graph(graph, in, k);
+  v_.add_to_graph(graph, in, v);
+  graph.add_host(out_.weight().name + ".core", {q, k, v}, {context},
+                 [this, q, k, v, context](ExecGraph& g) {
+                   const MatrixF& qa = g.slot(q);
+                   MatrixF& ctx = g.slot(context);
+                   if (ctx.rows() != qa.rows() || ctx.cols() != dim_)
+                     ctx = MatrixF(qa.rows(), dim_);
+                   else
+                     ctx.fill(0.0f);
+                   attention_core(qa, g.slot(k), g.slot(v), ctx);
+                 });
+  return out_.add_to_graph(graph, context, out);
 }
 
 MatrixF MultiHeadAttention::backward(const MatrixF& dy) {

@@ -25,7 +25,22 @@ class MultiHeadAttention : public Layer {
   /// exposed so the packed-weight inference path can rebind them.
   std::vector<Linear*> projection_layers();
 
+  /// Adds this block to an execution graph: the Q/K/V projections as
+  /// three *independent* GEMM nodes (the scheduler overlaps them on
+  /// separate streams — the paper's Fig. 7-4 assignment), a host node
+  /// for the softmax(QK^T)V core, and the output projection.  Produces
+  /// exactly what forward() produces; the block must outlive the graph.
+  ExecGraph::NodeId add_to_graph(ExecGraph& graph, ExecGraph::SlotId in,
+                                 ExecGraph::SlotId out);
+
  private:
+  /// softmax(scale * Q K^T) V per (batch, head), writing `context`
+  /// (pre-sized to q.rows() x dim) and caching the probabilities in
+  /// attn_.  Shared by forward() and the graph host node so both paths
+  /// are the same arithmetic.
+  void attention_core(const MatrixF& q, const MatrixF& k, const MatrixF& v,
+                      MatrixF& context);
+
   std::size_t dim_, heads_, seq_, head_dim_;
   Linear q_, k_, v_, out_;
   // Cached activations for backward.

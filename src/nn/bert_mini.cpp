@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "exec/scheduler.hpp"
 #include "tensor/ops.hpp"
 
 namespace tilesparse {
@@ -44,6 +45,18 @@ MatrixF BertMini::forward(const TokenBatch& batch) {
     }
   }
 
+  graph_forward_ = scheduler_ != nullptr;
+  if (scheduler_) {
+    // Rebuild whenever any layer's backend was replaced since the graph
+    // was built (pack, clear, or an artifact load straight into the
+    // layers) — the nodes hold non-owning refs to those backends.
+    if (!graph_ || graph_versions_ != current_graph_versions())
+      build_exec_graph();
+    graph_->slot(graph_in_) = std::move(x);
+    scheduler_->run(*graph_);
+    return graph_->slot(graph_out_);
+  }
+
   for (Block& blk : blocks_) {
     blk.x_attn_in = x;
     MatrixF h = blk.ln1->forward(x);
@@ -64,6 +77,13 @@ MatrixF BertMini::forward(const TokenBatch& batch) {
 }
 
 void BertMini::backward(const MatrixF& dlogits) {
+  if (graph_forward_) {
+    // The graph path keeps activations in graph slots, not the layer
+    // caches backward needs; differentiating now would silently no-op.
+    throw std::logic_error(
+        "BertMini::backward: last forward ran through the exec graph "
+        "(inference-only); detach the scheduler before training");
+  }
   MatrixF dpooled = classifier_->backward(dlogits);
   MatrixF dx = pool_.backward(dpooled);
 
@@ -134,10 +154,77 @@ void BertMini::pack_weights(const std::string& format,
                             const std::vector<TilePattern>* patterns,
                             const ExecContext& ctx) {
   pack_linear_layers(prunable_layers(), format, patterns, ctx);
+  graph_.reset();  // nodes hold refs to the replaced backends
 }
 
 void BertMini::clear_packed_weights() {
   clear_packed_linear_layers(prunable_layers());
+  graph_.reset();
+}
+
+std::vector<std::uint64_t> BertMini::current_graph_versions() {
+  std::vector<std::uint64_t> versions;
+  for (Linear* layer : prunable_layers())
+    versions.push_back(layer->packed_version());
+  versions.push_back(classifier_->packed_version());
+  return versions;
+}
+
+ExecGraph& BertMini::build_exec_graph() {
+  graph_versions_ = current_graph_versions();
+  graph_ = std::make_unique<ExecGraph>();
+  ExecGraph& g = *graph_;
+  graph_in_ = g.add_slot("x");
+  ExecGraph::SlotId x = graph_in_;
+  for (std::size_t l = 0; l < blocks_.size(); ++l) {
+    Block* blk = &blocks_[l];
+    const std::string p = "block" + std::to_string(l);
+    // Attention branch with residual (pre-LN, matching forward()).
+    const ExecGraph::SlotId h = g.add_slot(p + ".ln1.out");
+    g.add_host(p + ".ln1", {x}, {h}, [blk, x, h](ExecGraph& gg) {
+      gg.slot(h) = blk->ln1->forward(gg.slot(x));
+    });
+    const ExecGraph::SlotId attn_out = g.add_slot(p + ".attn.out");
+    blk->attn->add_to_graph(g, h, attn_out);
+    const ExecGraph::SlotId x1 = g.add_slot(p + ".res1");
+    g.add_host(p + ".res1", {attn_out, x}, {x1},
+               [attn_out, x, x1](ExecGraph& gg) {
+                 MatrixF sum = gg.slot(attn_out);
+                 const MatrixF& res = gg.slot(x);
+                 for (std::size_t i = 0; i < sum.size(); ++i)
+                   sum.data()[i] += res.data()[i];
+                 gg.slot(x1) = std::move(sum);
+               });
+    // FFN branch with residual.
+    const ExecGraph::SlotId f = g.add_slot(p + ".ln2.out");
+    g.add_host(p + ".ln2", {x1}, {f}, [blk, x1, f](ExecGraph& gg) {
+      gg.slot(f) = blk->ln2->forward(gg.slot(x1));
+    });
+    const ExecGraph::SlotId f1 = g.add_slot(p + ".ffn_in.out");
+    blk->ffn_in->add_to_graph(g, f, f1);
+    const ExecGraph::SlotId f2 = g.add_slot(p + ".gelu.out");
+    g.add_host(p + ".gelu", {f1}, {f2}, [blk, f1, f2](ExecGraph& gg) {
+      gg.slot(f2) = blk->gelu->forward(gg.slot(f1));
+    });
+    const ExecGraph::SlotId f3 = g.add_slot(p + ".ffn_out.out");
+    blk->ffn_out->add_to_graph(g, f2, f3);
+    const ExecGraph::SlotId x2 = g.add_slot(p + ".res2");
+    g.add_host(p + ".res2", {f3, x1}, {x2}, [f3, x1, x2](ExecGraph& gg) {
+      MatrixF sum = gg.slot(f3);
+      const MatrixF& res = gg.slot(x1);
+      for (std::size_t i = 0; i < sum.size(); ++i)
+        sum.data()[i] += res.data()[i];
+      gg.slot(x2) = std::move(sum);
+    });
+    x = x2;
+  }
+  const ExecGraph::SlotId pooled = g.add_slot("pooled");
+  g.add_host("pool", {x}, {pooled}, [this, x, pooled](ExecGraph& gg) {
+    gg.slot(pooled) = pool_.forward(gg.slot(x));
+  });
+  graph_out_ = g.add_slot("logits");
+  classifier_->add_to_graph(g, pooled, graph_out_);
+  return g;
 }
 
 }  // namespace tilesparse

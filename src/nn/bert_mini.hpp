@@ -15,6 +15,8 @@
 
 namespace tilesparse {
 
+class ExecScheduler;
+
 struct BertMiniConfig {
   std::size_t dim = 64;
   std::size_t heads = 4;
@@ -53,6 +55,23 @@ class BertMini {
   /// Back to dense master-weight execution.
   void clear_packed_weights();
 
+  /// Builds (or rebuilds) the model-level execution plan: one graph
+  /// covering every encoder block — Q/K/V as independent GEMM nodes,
+  /// host nodes for layernorm/softmax/residual glue, FFN and classifier
+  /// GEMMs — over the *current* execution backends (packed where
+  /// pack_weights installed one, plain forward otherwise).
+  /// pack_weights/clear_packed_weights invalidate the graph; call this
+  /// again after loading a new artifact into the layers directly.
+  ExecGraph& build_exec_graph();
+  ExecGraph* exec_graph() noexcept { return graph_.get(); }
+
+  /// Routes forward() through the execution graph dispatched by
+  /// `scheduler` (non-owning; null returns to the layer-by-layer
+  /// path).  The graph is built lazily on the next forward().
+  void set_exec_scheduler(ExecScheduler* scheduler) noexcept {
+    scheduler_ = scheduler;
+  }
+
   const BertMiniConfig& config() const noexcept { return config_; }
 
  private:
@@ -73,6 +92,17 @@ class BertMini {
   MeanPoolRows pool_;
   std::unique_ptr<Linear> classifier_;
   std::size_t last_batch_ = 0;
+  // Model-level execution plan (inference only).
+  std::unique_ptr<ExecGraph> graph_;
+  ExecGraph::SlotId graph_in_ = 0, graph_out_ = 0;
+  ExecScheduler* scheduler_ = nullptr;
+  bool graph_forward_ = false;  ///< last forward ran through the graph
+  /// packed_version() of every layer in the graph at build time; any
+  /// mismatch on forward (including artifact loads that bypass
+  /// pack_weights) means the graph holds dangling backend refs and
+  /// must be rebuilt.
+  std::vector<std::uint64_t> graph_versions_;
+  std::vector<std::uint64_t> current_graph_versions();
 };
 
 }  // namespace tilesparse

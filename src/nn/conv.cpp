@@ -1,6 +1,7 @@
 #include "nn/conv.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 #include "gemm/dense_gemm.hpp"
 #include "tensor/ops.hpp"
@@ -80,11 +81,30 @@ MatrixF Conv3x3::col2im(const MatrixF& cols) const {
   return x;
 }
 
+void Conv3x3::pack_weight(const std::string& format,
+                          const PackOptions& options) {
+  auto packed = make_packed(format, weight_.value, options);
+  if (packed->k() != weight_.value.rows() ||
+      packed->n() != weight_.value.cols()) {
+    throw std::invalid_argument("Conv3x3::pack_weight: shape mismatch for " +
+                                weight_.name);
+  }
+  packed_ = std::move(packed);
+}
+
 MatrixF Conv3x3::forward(const MatrixF& x) {
   assert(x.cols() == c_in_ * h_ * w_);
   cols_ = im2col(x);
   // (B*H*W) x (C_in*9) times (C_in*9) x C_out.
-  MatrixF flat = matmul(cols_, weight_.value);
+  MatrixF flat;
+  if (packed_) {
+    ExecContext ctx = ctx_;
+    ctx.alpha = 1.0f;
+    ctx.beta = 0.0f;
+    flat = packed_->matmul(ctx, cols_);
+  } else {
+    flat = matmul(cols_, weight_.value);
+  }
   const float* bias = bias_.value.data();
   // Repack to channel-major flattened images: out(b, ch*H*W + p).
   const std::size_t batch = x.rows();

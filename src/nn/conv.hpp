@@ -13,6 +13,11 @@ namespace tilesparse {
 
 /// Input layout: each batch row of the activation matrix is a flattened
 /// C x H x W image (channel-major).  Output likewise with C_out channels.
+///
+/// Inference path: like Linear, the layer can hold a PackedWeight over
+/// the im2col-lowered weight matrix, so the conv GEMM executes through
+/// the unified exec API (any registered format) instead of bypassing
+/// it.  The dense Param stays the master copy for backward().
 class Conv3x3 : public Layer {
  public:
   Conv3x3(std::string name, std::size_t in_channels, std::size_t out_channels,
@@ -24,6 +29,13 @@ class Conv3x3 : public Layer {
 
   Param& weight() noexcept { return weight_; }
 
+  /// Packs the im2col weight matrix under a registered format.
+  void pack_weight(const std::string& format, const PackOptions& options = {});
+  void clear_packed_weight() noexcept { packed_.reset(); }
+  const PackedWeight* packed_weight() const noexcept { return packed_.get(); }
+
+  void set_exec_context(const ExecContext& ctx) noexcept { ctx_ = ctx; }
+
  private:
   MatrixF im2col(const MatrixF& x) const;      ///< (B*H*W) x (C_in*9)
   MatrixF col2im(const MatrixF& cols) const;   ///< inverse scatter-add
@@ -32,6 +44,8 @@ class Conv3x3 : public Layer {
   Param weight_;  ///< (C_in*9) x C_out
   Param bias_;    ///< 1 x C_out
   MatrixF cols_;  ///< cached im2col(x)
+  std::unique_ptr<PackedWeight> packed_;  ///< optional inference backend
+  ExecContext ctx_;
 };
 
 /// 2x2 average pooling, stride 2 (channel-major flattened layout).

@@ -46,6 +46,7 @@ void Linear::set_packed_weight(std::unique_ptr<PackedWeight> packed) {
                                 " weight shape mismatch for " + weight_.name);
   }
   packed_ = std::move(packed);
+  ++packed_version_;
 }
 
 MatrixF Linear::forward(const MatrixF& x) {
@@ -59,12 +60,20 @@ MatrixF Linear::forward(const MatrixF& x) {
   } else {
     y = matmul(x, weight_.value);
   }
-  const float* b = bias_.value.data();
-  for (std::size_t r = 0; r < y.rows(); ++r) {
-    float* row = y.data() + r * y.cols();
-    for (std::size_t c = 0; c < y.cols(); ++c) row[c] += b[c];
-  }
+  add_row_bias(y, bias_.value);
   return y;
+}
+
+ExecGraph::NodeId Linear::add_to_graph(ExecGraph& graph, ExecGraph::SlotId in,
+                                       ExecGraph::SlotId out) {
+  if (packed_) {
+    return graph.add_gemm(weight_.name, packed_.get(), in, out, ctx_,
+                          &bias_.value);
+  }
+  return graph.add_host(weight_.name, {in}, {out},
+                        [this, in, out](ExecGraph& g) {
+                          g.slot(out) = forward(g.slot(in));
+                        });
 }
 
 MatrixF Linear::backward(const MatrixF& dy) {

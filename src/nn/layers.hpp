@@ -9,12 +9,14 @@
 //    and accumulates parameter gradients (call zero_grad between steps).
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "exec/backend_registry.hpp"
 #include "exec/exec_context.hpp"
+#include "exec/graph.hpp"
 #include "exec/packed_weight.hpp"
 #include "nn/param.hpp"
 #include "tensor/matrix.hpp"
@@ -55,19 +57,38 @@ class Linear : public Layer {
   /// Adopts an externally built packed weight (shape must match).
   void set_packed_weight(std::unique_ptr<PackedWeight> packed);
   /// Returns to dense master-weight execution.
-  void clear_packed_weight() noexcept { packed_.reset(); }
+  void clear_packed_weight() noexcept {
+    packed_.reset();
+    ++packed_version_;
+  }
   const PackedWeight* packed_weight() const noexcept { return packed_.get(); }
+
+  /// Bumped whenever the execution backend is replaced (pack, clear,
+  /// artifact load).  Models key their cached ExecGraph on the versions
+  /// of every layer in it: a graph built against replaced backends
+  /// would hold dangling weight refs, so it must be rebuilt — no
+  /// matter which call path swapped the backend.
+  std::uint64_t packed_version() const noexcept { return packed_version_; }
 
   /// Numerics/threads for packed execution (alpha/beta are fixed by the
   /// layer semantics y = x W + b).
   void set_exec_context(const ExecContext& ctx) noexcept { ctx_ = ctx; }
   const ExecContext& exec_context() const noexcept { return ctx_; }
 
+  /// Adds this layer's y = x W + b to an execution graph: a GEMM node
+  /// over the packed weight when one is installed (independent layers
+  /// then overlap across scheduler streams), a host node running the
+  /// plain forward() otherwise.  Both produce exactly what forward()
+  /// produces.  The layer must outlive the graph.
+  ExecGraph::NodeId add_to_graph(ExecGraph& graph, ExecGraph::SlotId in,
+                                 ExecGraph::SlotId out);
+
  private:
   Param weight_;  ///< in x out
   Param bias_;    ///< 1 x out
   MatrixF x_;     ///< cached input
   std::unique_ptr<PackedWeight> packed_;  ///< optional inference backend
+  std::uint64_t packed_version_ = 0;
   ExecContext ctx_;
 };
 

@@ -183,6 +183,27 @@ PruneResult prune_and_evaluate(PruneTask& task, const PatternSpec& spec,
   return result;
 }
 
+namespace {
+
+/// Detaches the task's scheduler and restores dense execution on every
+/// exit path — without this, a throwing evaluate would leave the task
+/// serving through a stale packed format or a dangling scheduler.
+class PackedEvalScope {
+ public:
+  explicit PackedEvalScope(PruneTask& task) : task_(task) {}
+  ~PackedEvalScope() {
+    task_.set_exec_scheduler(nullptr);
+    task_.clear_packed_weights();
+  }
+  PackedEvalScope(const PackedEvalScope&) = delete;
+  PackedEvalScope& operator=(const PackedEvalScope&) = delete;
+
+ private:
+  PruneTask& task_;
+};
+
+}  // namespace
+
 double evaluate_with_format(PruneTask& task, const std::string& format,
                             const std::vector<TilePattern>* patterns,
                             const ExecContext& ctx) {
@@ -190,16 +211,24 @@ double evaluate_with_format(PruneTask& task, const std::string& format,
     throw std::logic_error("evaluate_with_format: task '" + task.name() +
                            "' has no packed execution path");
   }
-  try {
-    const double metric = task.evaluate();
-    task.clear_packed_weights();
-    return metric;
-  } catch (...) {
-    // The restore guarantee must hold on the throwing path too, or the
-    // task would silently keep serving through the stale packed format.
-    task.clear_packed_weights();
-    throw;
+  PackedEvalScope scope(task);
+  return task.evaluate();
+}
+
+double evaluate_with_format(PruneTask& task, const std::string& format,
+                            const std::vector<TilePattern>* patterns,
+                            const ExecContext& ctx,
+                            const SchedulerOptions& scheduler_options) {
+  // Declared before the scope so detach (scope dtor) precedes the
+  // scheduler's destruction.
+  ExecScheduler scheduler(scheduler_options);
+  if (!task.pack_weights(format, patterns, ctx)) {
+    throw std::logic_error("evaluate_with_format: task '" + task.name() +
+                           "' has no packed execution path");
   }
+  PackedEvalScope scope(task);
+  task.set_exec_scheduler(&scheduler);
+  return task.evaluate();
 }
 
 void export_packed_weights(PruneTask& task, const std::string& format,
@@ -226,15 +255,26 @@ double evaluate_from_artifact(PruneTask& task, const std::string& path,
     throw std::logic_error("evaluate_from_artifact: task '" + task.name() +
                            "' has no layer-level packed execution path");
   }
-  try {
-    load_packed_linear_layers(path, layers, ctx);
-    const double metric = task.evaluate();
-    task.clear_packed_weights();
-    return metric;
-  } catch (...) {
-    task.clear_packed_weights();
-    throw;
+  PackedEvalScope scope(task);
+  load_packed_linear_layers(path, layers, ctx);
+  return task.evaluate();
+}
+
+double evaluate_from_artifact(PruneTask& task, const std::string& path,
+                              const ExecContext& ctx,
+                              const SchedulerOptions& scheduler_options) {
+  const std::vector<Linear*> layers = task.packed_layers();
+  if (layers.empty()) {
+    throw std::logic_error("evaluate_from_artifact: task '" + task.name() +
+                           "' has no layer-level packed execution path");
   }
+  ExecScheduler scheduler(scheduler_options);
+  PackedEvalScope scope(task);
+  // Load before attaching: the model builds its graph lazily on the
+  // next forward, over the backends the artifact just installed.
+  load_packed_linear_layers(path, layers, ctx);
+  task.set_exec_scheduler(&scheduler);
+  return task.evaluate();
 }
 
 // =================================================================== tasks
@@ -259,6 +299,10 @@ class BertTaskBase : public PruneTask {
   void clear_packed_weights() override { model_.clear_packed_weights(); }
   std::vector<Linear*> packed_layers() override {
     return model_.prunable_layers();
+  }
+  bool set_exec_scheduler(ExecScheduler* scheduler) override {
+    model_.set_exec_scheduler(scheduler);
+    return true;
   }
 
   void train_steps(int steps) override {
@@ -357,6 +401,14 @@ class VggTask final : public PruneTask {
   std::vector<Param*> prunable() override { return model_.prunable_weights(); }
   std::vector<Param*> parameters() override { return model_.params(); }
 
+  bool pack_weights(const std::string& format,
+                    const std::vector<TilePattern>* patterns,
+                    const ExecContext& ctx) override {
+    model_.pack_weights(format, patterns, ctx);
+    return true;
+  }
+  void clear_packed_weights() override { model_.clear_packed_weights(); }
+
   void train_steps(int steps) override {
     SgdOptimizer opt(model_.params(), lr_, 0.9f);
     for (int s = 0; s < steps; ++s) {
@@ -402,6 +454,12 @@ class NmtTask final : public PruneTask {
     return true;
   }
   void clear_packed_weights() override { model_.clear_packed_weights(); }
+  bool set_exec_scheduler(ExecScheduler* scheduler) override {
+    // Attached for the teacher-forced forward(); greedy_decode (the
+    // BLEU metric path) stays sequential by construction.
+    model_.set_exec_scheduler(scheduler);
+    return true;
+  }
 
   void train_steps(int steps) override {
     AdamOptimizer opt(model_.params(), lr_);

@@ -16,6 +16,7 @@
 
 #include "core/tile_pattern.hpp"
 #include "exec/exec_context.hpp"
+#include "exec/scheduler.hpp"
 #include "nn/param.hpp"
 
 namespace tilesparse {
@@ -74,6 +75,16 @@ class PruneTask {
   /// packed path (conv nets, LSTM gate weights) — such tasks cannot
   /// ship deployment artifacts yet.
   virtual std::vector<Linear*> packed_layers() { return {}; }
+
+  /// Attaches `scheduler` (non-owning; null detaches) so evaluate()
+  /// runs the model through its execution graph — independent layers
+  /// overlapping across streams — instead of layer-by-layer calls.
+  /// Returns false when the task's model has no graph path (it then
+  /// keeps evaluating synchronously).
+  virtual bool set_exec_scheduler(ExecScheduler* scheduler) {
+    (void)scheduler;
+    return false;
+  }
 };
 
 /// Result of one prune-and-fine-tune run.
@@ -100,6 +111,16 @@ double evaluate_with_format(PruneTask& task, const std::string& format,
                             const std::vector<TilePattern>* patterns = nullptr,
                             const ExecContext& ctx = {});
 
+/// Graph-scheduled variant: packs, attaches an ExecScheduler built
+/// from `scheduler_options` so the model evaluates through its
+/// execution graph (stream overlap + wide-N sharding), then detaches
+/// and restores dense execution.  Tasks without a graph path evaluate
+/// synchronously — same metric, no overlap.
+double evaluate_with_format(PruneTask& task, const std::string& format,
+                            const std::vector<TilePattern>* patterns,
+                            const ExecContext& ctx,
+                            const SchedulerOptions& scheduler_options);
+
 /// Packs the task's prunable weights under `format` and writes them as
 /// ONE deployment artifact (io/serialize model-weights container) at
 /// `path`; the task is restored to dense execution before returning.
@@ -116,6 +137,12 @@ void export_packed_weights(PruneTask& task, const std::string& format,
 /// restores dense execution.
 double evaluate_from_artifact(PruneTask& task, const std::string& path,
                               const ExecContext& ctx = {});
+
+/// Graph-scheduled variant of evaluate_from_artifact: the loaded
+/// backends serve through the model's execution graph.
+double evaluate_from_artifact(PruneTask& task, const std::string& path,
+                              const ExecContext& ctx,
+                              const SchedulerOptions& scheduler_options);
 
 // ----------------------------------------------------------------- tasks
 

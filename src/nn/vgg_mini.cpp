@@ -1,5 +1,7 @@
 #include "nn/vgg_mini.hpp"
 
+#include <stdexcept>
+
 namespace tilesparse {
 
 VggMini::VggMini(const VggMiniConfig& config) : config_(config) {
@@ -58,6 +60,32 @@ std::vector<Param*> VggMini::prunable_weights() {
   // Conv (im2col) and hidden FC weights; the 10-class output head is
   // excluded for the same reason as BertMini's classifier.
   return {&conv1_->weight(), &conv2_->weight(), &fc1_->weight()};
+}
+
+void VggMini::pack_weights(const std::string& format,
+                           const std::vector<TilePattern>* patterns,
+                           const ExecContext& ctx) {
+  if (patterns && patterns->size() != 3) {
+    throw std::invalid_argument(
+        "VggMini::pack_weights: patterns must align with prunable_weights()");
+  }
+  auto options_for = [&](std::size_t i) {
+    PackOptions options;
+    if (patterns) options.pattern = &(*patterns)[i];
+    return options;
+  };
+  conv1_->pack_weight(format, options_for(0));
+  conv1_->set_exec_context(ctx);
+  conv2_->pack_weight(format, options_for(1));
+  conv2_->set_exec_context(ctx);
+  fc1_->pack_weight(format, options_for(2));
+  fc1_->set_exec_context(ctx);
+}
+
+void VggMini::clear_packed_weights() {
+  conv1_->clear_packed_weight();
+  conv2_->clear_packed_weight();
+  fc1_->clear_packed_weight();
 }
 
 }  // namespace tilesparse

@@ -34,6 +34,16 @@ class VggMini {
   std::vector<Param*> params();
   std::vector<Param*> prunable_weights();  ///< conv im2col mats + FC weights
 
+  /// Packs the prunable GEMMs — the two conv im2col matrices and fc1 —
+  /// for inference under a registered PackedWeight format, so the CNN
+  /// task serves through the unified exec API like the other models.
+  /// `patterns` aligns 1:1 with prunable_weights(); may be null for
+  /// pattern-free formats.
+  void pack_weights(const std::string& format,
+                    const std::vector<TilePattern>* patterns = nullptr,
+                    const ExecContext& ctx = {});
+  void clear_packed_weights();
+
   const VggMiniConfig& config() const noexcept { return config_; }
 
  private:

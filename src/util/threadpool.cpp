@@ -55,8 +55,19 @@ void ThreadPool::worker_loop() {
       if (stop_) return;
       task = current_;
       seen_generation = generation_;
+      // Attach under the lock: parallel_for_chunked cannot destroy the
+      // task (its own stack frame) until every attached worker has let
+      // go.  Without this a worker waking between "all chunks done" and
+      // "current_ = nullptr" would drain a dead Task — a use-after-
+      // return that manifests once pool workers run long scheduler
+      // streams back to back.
+      ++task->attached;
     }
     drain(*task);
+    {
+      std::lock_guard lock(mutex_);
+      if (--task->attached == 0) detached_cv_.notify_all();
+    }
   }
 }
 
@@ -94,8 +105,12 @@ void ThreadPool::parallel_for_chunked(
     task.done_cv.wait(lock, [&] { return task.remaining_chunks.load() == 0; });
   }
   {
-    std::lock_guard lock(mutex_);
+    // All chunks are finished, but a worker may still be between its
+    // (now fruitless) claim and its detach; the task lives on this
+    // stack frame, so wait until every worker has let go of it.
+    std::unique_lock lock(mutex_);
     current_ = nullptr;
+    detached_cv_.wait(lock, [&] { return task.attached == 0; });
   }
 }
 

@@ -57,6 +57,7 @@ class ThreadPool {
     std::size_t end = 0;
     std::size_t chunk = 1;
     std::atomic<std::size_t> remaining_chunks{0};
+    std::size_t attached = 0;  ///< workers inside drain(); guarded by mutex_
     std::mutex done_mutex;
     std::condition_variable done_cv;
   };
@@ -67,6 +68,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  std::condition_variable detached_cv_;  ///< signals task.attached -> 0
   Task* current_ = nullptr;  // guarded by mutex_
   std::uint64_t generation_ = 0;
   bool stop_ = false;

@@ -1,0 +1,103 @@
+// ThreadPool stress coverage: the pool under the ExecScheduler now
+// hosts long-lived "stream" bodies that block on condition variables
+// and wake each other, so the fork-join primitive is exercised far
+// harder than the GEMM loops did.  These tests hammer rapid-fire
+// launches, nested calls, concurrent-pool interactions and
+// reduction-style bodies to pin down the invariants the scheduler
+// relies on: every index runs exactly once, parallel_for never
+// returns early, and nesting degrades to serial instead of
+// deadlocking.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/threadpool.hpp"
+
+namespace tilesparse {
+namespace {
+
+TEST(ThreadPoolStress, EveryIndexRunsExactlyOnceUnderRapidFire) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t n = 1 + static_cast<std::size_t>(round % 97);
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(0, n, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "round " << round << " index " << i;
+  }
+}
+
+TEST(ThreadPoolStress, ChunkedVariantCoversRangeWithoutOverlap) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTotal = 100000;
+  std::vector<std::uint8_t> seen(kTotal, 0);
+  std::atomic<std::size_t> chunks{0};
+  pool.parallel_for_chunked(0, kTotal, 64, [&](std::size_t lo, std::size_t hi) {
+    chunks.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t i = lo; i < hi; ++i) seen[i] = 1;  // disjoint chunks
+  });
+  EXPECT_GE(chunks.load(), 1u);
+  EXPECT_EQ(std::accumulate(seen.begin(), seen.end(), std::size_t{0}), kTotal);
+}
+
+TEST(ThreadPoolStress, ForkJoinIsABarrier) {
+  // parallel_for must not return while any iteration is still
+  // running: the sum is only correct if the join really joined.
+  ThreadPool pool(7);
+  for (int round = 0; round < 100; ++round) {
+    std::atomic<std::int64_t> sum{0};
+    const std::size_t n = 1000;
+    pool.parallel_for(0, n, [&](std::size_t i) {
+      sum.fetch_add(static_cast<std::int64_t>(i), std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), static_cast<std::int64_t>(n * (n - 1) / 2));
+  }
+}
+
+TEST(ThreadPoolStress, NestedCallsRunSerialNotDeadlock) {
+  ThreadPool pool(3);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(0, 16, [&](std::size_t) {
+    // Nested use from inside a worker must fall back to serial.
+    pool.parallel_for(0, 8, [&](std::size_t) {
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 16 * 8);
+}
+
+TEST(ThreadPoolStress, IndependentPoolsInterleave) {
+  // The scheduler's streams may launch kernels that use a different
+  // pool; two pools forked from the same thread must not interfere.
+  ThreadPool a(2), b(2);
+  std::atomic<int> hits{0};
+  a.parallel_for(0, 8, [&](std::size_t) {
+    b.parallel_for(0, 4,
+                   [&](std::size_t) { hits.fetch_add(1); });
+  });
+  EXPECT_EQ(hits.load(), 8 * 4);
+}
+
+TEST(ThreadPoolStress, ZeroAndReversedRangesAreNoops) {
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  pool.parallel_for(5, 5, [&](std::size_t) { hits.fetch_add(1); });
+  pool.parallel_for(9, 3, [&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 0);
+}
+
+TEST(ThreadPoolStress, MachineSizedPoolCompletes) {
+  ThreadPool pool;  // hardware_concurrency() - 1 workers
+  std::atomic<int> hits{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 100);
+}
+
+}  // namespace
+}  // namespace tilesparse
