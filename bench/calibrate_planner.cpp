@@ -13,13 +13,16 @@
 #include <cstdio>
 #include <cstring>
 #include <ctime>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "exec/backend_registry.hpp"
 #include "exec/planner.hpp"
 #include "io/serialize.hpp"
+#include "sparse/bsr.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
@@ -90,18 +93,77 @@ int main(int argc, char** argv) {
   const auto tw_int8 = make_packed("tw-int8", pruned, pack);
   const double int8_rate = measured_rate(*tw_int8, a, c);
 
-  // CSR at 75% unstructured sparsity (its claimed regime).
+  // CSR at 75% unstructured sparsity (its claimed regime), through the
+  // strip-panel SpMM the CsrWeight backend executes.
   MatrixF unstructured = w;
   for (float& v : unstructured.flat())
     if (rng.uniform() < 0.75f) v = 0.0f;
   const auto csr = make_packed("csr", unstructured);
   const double csr_rate = measured_rate(*csr, a, c);
 
+  // BSR at 50% block sparsity (32x32 blocks): not a PackedWeight
+  // backend, but the planner prices it for format comparisons.
+  MatrixF blocky = w;
+  {
+    Rng block_rng(29);
+    const std::size_t blk = 32;
+    for (std::size_t br = 0; br < kn / blk; ++br)
+      for (std::size_t bc = 0; bc < kn / blk; ++bc) {
+        if (block_rng.uniform() >= 0.5) continue;
+        for (std::size_t r = 0; r < blk; ++r)
+          for (std::size_t col = 0; col < blk; ++col)
+            blocky(br * blk + r, bc * blk + col) = 0.0f;
+      }
+  }
+  const Bsr bsr = bsr_from_dense(blocky, 32);
+  const double bsr_macs = static_cast<double>(m) *
+                          static_cast<double>(bsr.stored_blocks()) * 32.0 *
+                          32.0;
+  const double bsr_time = time_best_of(
+      [&] {
+        c.fill(0.0f);
+        bsr_gemm_accumulate(a, bsr, c);
+      },
+      7);
+  const double bsr_rate = bsr_macs / bsr_time;
+
   PlannerCalibration calib;
   calib.csr_mac_penalty = dense_rate / csr_rate;
   calib.tw_mac_penalty = dense_rate / tw_rate;
+  calib.bsr_mac_penalty = dense_rate / bsr_rate;
   calib.int8_mac_discount = dense_rate / int8_rate;
   calib.dense_gflops = 2.0 * dense_rate * 1e-9;
+
+  // Tile-shard overhead: time the wide dense matmul whole vs split
+  // into 4 column shards run back-to-back (slice dispatch + join cost
+  // with zero overlap); the per-shard surcharge prices shard dispatch
+  // for the scheduler.
+  {
+    constexpr std::size_t kShards = 4;
+    std::vector<std::unique_ptr<PackedWeight>> shards;
+    std::vector<MatrixF> parts;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      const std::size_t n0 = s * kn / kShards, n1 = (s + 1) * kn / kShards;
+      shards.push_back(dense->shard_cols(n0, n1));
+      parts.emplace_back(m, n1 - n0);
+    }
+    const ExecContext shard_ctx;
+    const double t_whole =
+        time_best_of([&] { dense->matmul(shard_ctx, a, c); }, 7);
+    const double t_shards = time_best_of(
+        [&] {
+          for (std::size_t s = 0; s < kShards; ++s) {
+            shards[s]->matmul(shard_ctx, a, parts[s]);
+            for (std::size_t r = 0; r < m; ++r)
+              std::memcpy(c.data() + r * kn + s * kn / kShards,
+                          parts[s].data() + r * parts[s].cols(),
+                          parts[s].cols() * sizeof(float));
+          }
+        },
+        7);
+    calib.shard_overhead_us =
+        std::max(1.0, (t_shards - t_whole) / kShards * 1e6);
+  }
 
   // Weight-traffic term: at m=1 a dense matmul is memory bound, so its
   // cost over and above its MACs prices the packed bytes.
@@ -127,6 +189,11 @@ int main(int argc, char** argv) {
                  format_double(calib.csr_mac_penalty, 2)});
   table.add_row({"tw_mac_penalty", format_double(defaults.tw_mac_penalty, 2),
                  format_double(calib.tw_mac_penalty, 2)});
+  table.add_row({"bsr_mac_penalty", format_double(defaults.bsr_mac_penalty, 2),
+                 format_double(calib.bsr_mac_penalty, 2)});
+  table.add_row({"shard_overhead_us",
+                 format_double(defaults.shard_overhead_us, 2),
+                 format_double(calib.shard_overhead_us, 2)});
   table.add_row({"int8_mac_discount",
                  format_double(defaults.int8_mac_discount, 2),
                  format_double(calib.int8_mac_discount, 2)});

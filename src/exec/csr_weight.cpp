@@ -11,7 +11,9 @@ CsrWeight::CsrWeight(const MatrixF& weights, float tol)
     : CsrWeight(csr_from_dense(weights, tol)) {}
 
 CsrWeight::CsrWeight(Csr csr)
-    : PackedWeight(csr.rows, csr.cols), csr_(std::move(csr)) {}
+    : PackedWeight(csr.rows, csr.cols),
+      csr_(std::move(csr)),
+      panels_(build_csr_panels(csr_)) {}
 
 void CsrWeight::save(std::ostream& out) const { write_csr(out, csr_); }
 
@@ -58,7 +60,7 @@ void CsrWeight::accumulate(const ExecContext&, const MatrixF& a,
                            MatrixF& c) const {
   // fp16 activation rounding is applied by the base wrapper (this
   // kernel has no native half path).
-  dense_times_csr_accumulate(a, csr_, c);
+  csr_panels_spmm_accumulate(a, panels_, c);
 }
 
 }  // namespace tilesparse

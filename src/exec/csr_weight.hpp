@@ -11,6 +11,7 @@
 
 #include "exec/packed_weight.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/spmm.hpp"
 
 namespace tilesparse {
 
@@ -41,6 +42,7 @@ class CsrWeight final : public PackedWeight {
                                            std::size_t n1) const override;
 
   const Csr& csr() const noexcept { return csr_; }
+  const CsrPanels& panels() const noexcept { return panels_; }
 
  protected:
   void accumulate(const ExecContext& ctx, const MatrixF& a,
@@ -48,6 +50,10 @@ class CsrWeight final : public PackedWeight {
 
  private:
   Csr csr_;
+  /// Strip-partitioned execution layout, built once at pack time (the
+  /// CSR itself stays authoritative for serialization / to_dense).
+  /// Shards rebuild their own panels from the sliced CSR in the ctor.
+  CsrPanels panels_;
 };
 
 }  // namespace tilesparse

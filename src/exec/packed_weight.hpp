@@ -71,9 +71,10 @@ class PackedWeight {
   /// may claim shardability only when, for every output element, the
   /// slice accumulates the same terms in the same order as the whole
   /// weight — so a shard-and-join matmul is bit-identical to the
-  /// unsharded one.  Column-independent formats (dense, csr) qualify;
-  /// tile-based formats (whose tiles span column groups) and anything
-  /// with whole-matrix quantisation scales do not.
+  /// unsharded one.  All five built-in formats qualify: dense and csr
+  /// are column-independent, the tile formats slice tiles at column
+  /// boundaries with kept_rows (and per-tile int8 scales) carried
+  /// unchanged.  Custom backends stay unshardable until they opt in.
   virtual bool col_shardable() const noexcept { return false; }
 
   /// Returns a packed weight executing only columns [n0, n1) of this

@@ -44,6 +44,13 @@ class QuantTwWeight final : public PackedWeight {
   std::string_view format() const noexcept override { return "tw-int8"; }
   bool supports(Numerics numerics) const noexcept override;
 
+  /// Slices carry each tile's quantisation scale, the activation scale
+  /// is per-tensor from the (unsliced) A, and the int32 accumulation
+  /// is exact, so shard-joins are bit-identical to the serial path.
+  bool col_shardable() const noexcept override { return true; }
+  std::unique_ptr<PackedWeight> shard_cols(std::size_t n0,
+                                           std::size_t n1) const override;
+
   const std::vector<QuantMaskedTile>& tiles() const noexcept { return tiles_; }
 
  protected:

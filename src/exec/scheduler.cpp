@@ -38,11 +38,20 @@ std::size_t ExecScheduler::shard_count(const ExecGraph::Node& node) const {
 
   const PlannerCalibration& calibration =
       options_.calibration ? *options_.calibration : planner_calibration();
-  const double gflops =
+  const double dense_gflops =
       calibration.measured() ? calibration.dense_gflops : kFallbackDenseGflops;
+  // Per-format effective rate: a slow format (csr penalty > 1) covers
+  // the dispatch overhead with fewer of its own MACs, so it shards
+  // earlier than dense for the same nominal MAC count.
+  const double gflops =
+      dense_gflops /
+      std::max(0.05, calibration.mac_penalty(node.weight->format()));
+  const double overhead_us = options_.dispatch_overhead_us >= 0.0
+                                 ? options_.dispatch_overhead_us
+                                 : calibration.shard_overhead_us;
   // gflops * 1e9 flop/s * overhead_us * 1e-6 s, at 2 flops per MAC.
   const double min_macs_per_shard =
-      std::max(1.0, gflops * options_.dispatch_overhead_us * 1e3 / 2.0);
+      std::max(1.0, gflops * overhead_us * 1e3 / 2.0);
   const double macs = node.weight->macs(options_.reference_m);
   const auto by_cost = static_cast<std::size_t>(macs / min_macs_per_shard);
   const std::size_t by_cols = node.weight->n() / options_.min_shard_cols;

@@ -43,9 +43,11 @@ struct SchedulerOptions {
   /// Concurrent worker streams.  1 = single-stream reference (serial,
   /// no queue, no shards); 0 = the pool's worker count.
   std::size_t streams = 0;
-  /// Split very wide GEMM outputs into column shards (formats that
-  /// support exact column slicing only; int8 activation nodes are
-  /// never sharded — per-tensor dynamic scales are not sliceable).
+  /// Split very wide GEMM outputs into column shards.  All five
+  /// built-in formats slice exactly (tile formats carry kept_rows and
+  /// per-tile scales through the slice); int8 *activation* nodes are
+  /// still never sharded — the dense backend's dynamic per-tensor
+  /// weight scale is a whole-matrix property.
   bool shard_wide_n = true;
   /// Never split below this many output columns per shard.
   std::size_t min_shard_cols = 32;
@@ -53,9 +55,11 @@ struct SchedulerOptions {
   /// before inputs exist; serving batches near this keep shards
   /// balanced).
   std::size_t reference_m = 64;
-  /// Estimated cost of dispatching one task; the calibration's dense
-  /// rate converts it into a minimum per-shard MAC count.
-  double dispatch_overhead_us = 20.0;
+  /// Estimated cost of dispatching one task; the calibration's
+  /// per-format rate converts it into a minimum per-shard MAC count.
+  /// Negative = use the calibration's measured shard_overhead_us
+  /// ("tile-shard" entry); 0 disables the floor entirely.
+  double dispatch_overhead_us = -1.0;
   /// Cost-model constants; null uses the process-wide
   /// planner_calibration().
   const PlannerCalibration* calibration = nullptr;

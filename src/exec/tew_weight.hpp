@@ -35,6 +35,14 @@ class TewWeight final : public PackedWeight {
   double macs(std::size_t m) const noexcept override;
   std::string_view format() const noexcept override { return "tew"; }
 
+  /// Both halves slice exactly: the TW tiles keep their kept_rows (so
+  /// the masked kernel's accumulation order is unchanged) and the CSC
+  /// remainder's columns are independent, so shard-joins stay
+  /// bit-identical to the serial path.
+  bool col_shardable() const noexcept override { return true; }
+  std::unique_ptr<PackedWeight> shard_cols(std::size_t n0,
+                                           std::size_t n1) const override;
+
   const TewMatrix& decomposition() const noexcept { return tew_; }
 
  protected:
@@ -44,6 +52,8 @@ class TewWeight final : public PackedWeight {
 
  private:
   TewMatrix tew_;
+  /// B panels for the TW part, pre-packed at construction.
+  std::vector<TilePanels> panels_;
 };
 
 }  // namespace tilesparse

@@ -1,5 +1,7 @@
 #include "exec/tw_weight.hpp"
 
+#include <stdexcept>
+
 #include "io/serialize.hpp"
 #include "io/wire.hpp"
 
@@ -41,7 +43,8 @@ TwWeight::TwWeight(const MatrixF& weights, const TilePattern& pattern)
 TwWeight::TwWeight(std::vector<MaskedTile> tiles, std::size_t k, std::size_t n)
     : PackedWeight(k, n),
       tiles_(std::move(tiles)),
-      groups_(groups_from_tiles(tiles_)) {}
+      groups_(groups_from_tiles(tiles_)),
+      panels_(prepack_all_tile_panels(tiles_)) {}
 
 void TwWeight::save(std::ostream& out) const { write_tiles(out, tiles_); }
 
@@ -73,9 +76,17 @@ double TwWeight::macs(std::size_t m) const noexcept {
   return total;
 }
 
+std::unique_ptr<PackedWeight> TwWeight::shard_cols(std::size_t n0,
+                                                   std::size_t n1) const {
+  if (n0 >= n1 || n1 > n())
+    throw std::invalid_argument("TwWeight::shard_cols: bad column range");
+  return std::make_unique<TwWeight>(slice_masked_tiles(tiles_, n0, n1), k(),
+                                    n1 - n0);
+}
+
 void TwWeight::accumulate(const ExecContext& ctx, const MatrixF& a,
                           MatrixF& c) const {
-  masked_gemm_all(a, tiles_, c, ctx.fp16());
+  masked_gemm_all(a, tiles_, c, ctx.fp16(), &panels_);
 }
 
 }  // namespace tilesparse

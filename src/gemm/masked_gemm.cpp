@@ -28,36 +28,24 @@ void masked_gemm_gather(const MatrixF& a, const MaskedTile& tile, MatrixF& c) {
   }
 }
 
-void masked_gemm_packed(const MatrixF& a, const MaskedTile& tile, MatrixF& c,
-                        bool fp16_inputs) {
-  const std::size_t m = a.rows();
+namespace {
+
+/// K blocking shared by packing and the kernel loops.  kcap depends on
+/// the tile shape only, so pre-packed panels stay valid for every M.
+constexpr std::size_t kKc = 256;  // K panel resident in L1/L2
+constexpr std::size_t kMc = 96;   // M chunk: accumulator stays cache
+                                  // resident and scratch stays bounded
+
+/// Packs the compacted tile weights: per (K-block, strip) panels,
+/// kNr-wide, zero-padded — after packing, the inner loops are the same
+/// register-tiled kernel dense GEMM runs (the CPU equivalent of the
+/// transpose trick restoring coalesced loads).
+void pack_tile_b_panels(const MaskedTile& tile, float* b_panels) {
   const std::size_t kt = tile.kept_rows.size();
   const std::size_t wt = tile.out_cols.size();
-  assert(tile.weights.rows() == kt && tile.weights.cols() == wt);
-  if (m == 0 || kt == 0 || wt == 0) return;
-
   const std::size_t strips = (wt + kNr - 1) / kNr;
   const std::size_t wt_round = strips * kNr;
-  constexpr std::size_t kKc = 256;   // K panel resident in L1/L2
-  constexpr std::size_t kMc = 96;    // M chunk: accumulator stays cache
-                                     // resident and scratch stays bounded
   const std::size_t kcap = std::min(kKc, kt);
-  const std::size_t mcap = std::min(kMc, m);
-
-  // Per-thread scratch: masked_gemm_all runs one tile per worker, and
-  // the seed version allocated panels per row block inside that loop.
-  GemmScratch& scratch = thread_gemm_scratch();
-  scratch.a_f32.resize(kcap * kMr);
-  scratch.b_f32.resize(kt * wt_round);
-  scratch.acc_f32.resize(mcap * wt_round);
-  float* a_panel = scratch.a_f32.data();
-  float* b_panels = scratch.b_f32.data();
-  float* acc = scratch.acc_f32.data();
-
-  // Pack the compacted tile weights once per call: per (K-block, strip)
-  // panels, kNr-wide, zero-padded — after packing, the inner loops are
-  // the same register-tiled kernel dense GEMM runs (the CPU equivalent
-  // of the transpose trick restoring coalesced loads).
   const std::size_t k_blocks = (kt + kcap - 1) / kcap;
   for (std::size_t kb = 0; kb < k_blocks; ++kb) {
     const std::size_t k0 = kb * kcap;
@@ -69,6 +57,60 @@ void masked_gemm_packed(const MatrixF& a, const MaskedTile& tile, MatrixF& c,
                        std::min(kNr, wt - j0), block_base + s * klen * kNr);
     }
   }
+}
+
+}  // namespace
+
+TilePanels prepack_tile_panels(const MaskedTile& tile) {
+  TilePanels panels;
+  const std::size_t kt = tile.kept_rows.size();
+  const std::size_t wt = tile.out_cols.size();
+  if (kt == 0 || wt == 0) return panels;
+  const std::size_t wt_round = ((wt + kNr - 1) / kNr) * kNr;
+  panels.b.resize(kt * wt_round);
+  pack_tile_b_panels(tile, panels.b.data());
+  return panels;
+}
+
+std::vector<TilePanels> prepack_all_tile_panels(
+    const std::vector<MaskedTile>& tiles) {
+  std::vector<TilePanels> panels;
+  panels.reserve(tiles.size());
+  for (const MaskedTile& tile : tiles) panels.push_back(prepack_tile_panels(tile));
+  return panels;
+}
+
+void masked_gemm_packed(const MatrixF& a, const MaskedTile& tile, MatrixF& c,
+                        bool fp16_inputs, const TilePanels* prepacked) {
+  const std::size_t m = a.rows();
+  const std::size_t kt = tile.kept_rows.size();
+  const std::size_t wt = tile.out_cols.size();
+  assert(tile.weights.rows() == kt && tile.weights.cols() == wt);
+  if (m == 0 || kt == 0 || wt == 0) return;
+
+  const std::size_t strips = (wt + kNr - 1) / kNr;
+  const std::size_t wt_round = strips * kNr;
+  const std::size_t kcap = std::min(kKc, kt);
+  const std::size_t mcap = std::min(kMc, m);
+
+  // Per-thread scratch: masked_gemm_all runs one tile per worker, and
+  // the seed version allocated panels per row block inside that loop.
+  GemmScratch& scratch = thread_gemm_scratch();
+  scratch.a_f32.resize(kcap * kMr);
+  scratch.acc_f32.resize(mcap * wt_round);
+  float* a_panel = scratch.a_f32.data();
+  float* acc = scratch.acc_f32.data();
+
+  const float* b_panels;
+  if (prepacked && !prepacked->b.empty()) {
+    assert(prepacked->b.size() == kt * wt_round);
+    b_panels = prepacked->b.data();
+  } else {
+    scratch.b_f32.resize(kt * wt_round);
+    pack_tile_b_panels(tile, scratch.b_f32.data());
+    b_panels = scratch.b_f32.data();
+  }
+  const std::size_t k_blocks = (kt + kcap - 1) / kcap;
 
   for (std::size_t i0 = 0; i0 < m; i0 += mcap) {
     const std::size_t mlen = std::min(mcap, m - i0);
@@ -100,13 +142,43 @@ void masked_gemm_packed(const MatrixF& a, const MaskedTile& tile, MatrixF& c,
 }
 
 void masked_gemm_all(const MatrixF& a, const std::vector<MaskedTile>& tiles,
-                     MatrixF& c, bool fp16_inputs) {
+                     MatrixF& c, bool fp16_inputs,
+                     const std::vector<TilePanels>* prepacked) {
+  assert(!prepacked || prepacked->size() == tiles.size());
   // Tiles write disjoint C columns (out_cols never overlap across tiles
   // of one weight matrix), so the loop is safely parallel.
 #pragma omp parallel for schedule(dynamic)
   for (std::size_t t = 0; t < tiles.size(); ++t) {
-    masked_gemm_packed(a, tiles[t], c, fp16_inputs);
+    masked_gemm_packed(a, tiles[t], c, fp16_inputs,
+                       prepacked ? &(*prepacked)[t] : nullptr);
   }
+}
+
+std::vector<MaskedTile> slice_masked_tiles(const std::vector<MaskedTile>& tiles,
+                                           std::size_t n0, std::size_t n1) {
+  std::vector<MaskedTile> sliced;
+  for (const MaskedTile& tile : tiles) {
+    // out_cols ascend, so the intersection with [n0, n1) is contiguous.
+    const auto lo = std::lower_bound(tile.out_cols.begin(),
+                                     tile.out_cols.end(),
+                                     static_cast<std::int32_t>(n0));
+    const auto hi = std::lower_bound(lo, tile.out_cols.end(),
+                                     static_cast<std::int32_t>(n1));
+    if (lo == hi) continue;
+    const std::size_t j0 = static_cast<std::size_t>(lo - tile.out_cols.begin());
+    const std::size_t width = static_cast<std::size_t>(hi - lo);
+    MaskedTile out;
+    out.kept_rows = tile.kept_rows;
+    out.out_cols.reserve(width);
+    for (auto it = lo; it != hi; ++it)
+      out.out_cols.push_back(*it - static_cast<std::int32_t>(n0));
+    out.weights = MatrixF(tile.kept_rows.size(), width);
+    for (std::size_t t = 0; t < tile.kept_rows.size(); ++t)
+      for (std::size_t j = 0; j < width; ++j)
+        out.weights(t, j) = tile.weights(t, j0 + j);
+    sliced.push_back(std::move(out));
+  }
+  return sliced;
 }
 
 MatrixF tiles_to_dense(const std::vector<MaskedTile>& tiles, std::size_t k,

@@ -32,17 +32,48 @@ struct MaskedTile {
 /// gathering A elements one-by-one (uncoalesced analogue).
 void masked_gemm_gather(const MatrixF& a, const MaskedTile& tile, MatrixF& c);
 
+/// Pre-packed B panels for one MaskedTile, in exactly the per-(K-block,
+/// strip) layout masked_gemm_packed consumes.  Building this at pack
+/// time removes the per-call repacking the old gather fallback paid on
+/// every matmul; the layout depends only on the tile shape, so one
+/// prepack serves every batch size and numerics mode (fp16 rounds the
+/// A panels inside the kernel, weights are pre-rounded by the caller).
+struct TilePanels {
+  std::vector<float> b;  ///< kt x round_up(wt, kNr) floats
+};
+
+/// Packs `tile.weights` into the panel layout above.
+TilePanels prepack_tile_panels(const MaskedTile& tile);
+
 /// Same computation, but packs the masked A panel first (coalesced
 /// analogue).  `fp16_inputs` rounds the packed A panel through binary16;
 /// pre-round the tile weights with round_matrix_to_half for full
-/// tensor-core numerics.
+/// tensor-core numerics.  `prepacked`, when non-null and non-empty,
+/// supplies the tile's B panels and skips the per-call weight packing.
 void masked_gemm_packed(const MatrixF& a, const MaskedTile& tile, MatrixF& c,
-                        bool fp16_inputs = false);
+                        bool fp16_inputs = false,
+                        const TilePanels* prepacked = nullptr);
 
 /// Executes a whole set of tiles (one TW-pruned weight matrix) against a
-/// shared A, packed variant, parallel across tiles.  C must be M x N_original.
+/// shared A, packed variant, parallel across tiles.  C must be M x
+/// N_original.  `prepacked`, when non-null, must parallel `tiles` 1:1.
 void masked_gemm_all(const MatrixF& a, const std::vector<MaskedTile>& tiles,
-                     MatrixF& c, bool fp16_inputs = false);
+                     MatrixF& c, bool fp16_inputs = false,
+                     const std::vector<TilePanels>* prepacked = nullptr);
+
+/// Prepacks panels for every tile of a weight matrix.
+std::vector<TilePanels> prepack_all_tile_panels(
+    const std::vector<MaskedTile>& tiles);
+
+/// Column-slices a tile set to [n0, n1): tiles intersecting the range
+/// survive with out_cols rebased to the slice and the matching weight
+/// columns copied; kept_rows are untouched.  Because the masked kernel
+/// derives its K-blocking from kept_rows alone and every output column
+/// accumulates independently (lane position never changes a lane's
+/// arithmetic), executing a slice is bit-identical to the same columns
+/// of the unsliced tile set — the property wide-N sharding relies on.
+std::vector<MaskedTile> slice_masked_tiles(const std::vector<MaskedTile>& tiles,
+                                           std::size_t n0, std::size_t n1);
 
 /// Builds the dense K x N matrix a set of tiles represents (zeros where
 /// pruned).  For testing: masked GEMM on tiles == dense GEMM on this.

@@ -153,6 +153,46 @@ __attribute__((target("avx2,fma"))) void kernel_i8_avx2(
 
 #endif  // TILESPARSE_X86_DISPATCH
 
+// ------------------------------------------------------- sparse strips
+
+void spmm_strip_scalar(const float* a_panel, const std::int32_t* row_idx,
+                       const std::int64_t* row_ptr, std::size_t nrows,
+                       const std::int32_t* col, const float* val,
+                       float* frag) {
+  for (std::size_t i = 0; i < nrows; ++i) {
+    const float* av = a_panel + static_cast<std::size_t>(row_idx[i]) * kNr;
+    for (auto p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      const auto idx = static_cast<std::size_t>(p);
+      float* f = frag + static_cast<std::size_t>(col[idx]) * kNr;
+      const float v = val[idx];
+#pragma omp simd
+      for (std::size_t r = 0; r < kNr; ++r) f[r] += v * av[r];
+    }
+  }
+}
+
+#ifdef TILESPARSE_X86_DISPATCH
+
+__attribute__((target("avx2,fma"))) void spmm_strip_avx2(
+    const float* a_panel, const std::int32_t* row_idx,
+    const std::int64_t* row_ptr, std::size_t nrows, const std::int32_t* col,
+    const float* val, float* frag) {
+  for (std::size_t i = 0; i < nrows; ++i) {
+    const float* av = a_panel + static_cast<std::size_t>(row_idx[i]) * kNr;
+    const __m256 a0 = _mm256_loadu_ps(av);
+    const __m256 a1 = _mm256_loadu_ps(av + 8);
+    for (auto p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      const auto idx = static_cast<std::size_t>(p);
+      float* f = frag + static_cast<std::size_t>(col[idx]) * kNr;
+      const __m256 v = _mm256_broadcast_ss(val + idx);
+      _mm256_storeu_ps(f, _mm256_fmadd_ps(v, a0, _mm256_loadu_ps(f)));
+      _mm256_storeu_ps(f + 8, _mm256_fmadd_ps(v, a1, _mm256_loadu_ps(f + 8)));
+    }
+  }
+}
+
+#endif  // TILESPARSE_X86_DISPATCH
+
 // ------------------------------------------------------------ dispatch
 
 SimdLevel detect() noexcept {
@@ -208,6 +248,18 @@ void micro_kernel_i8(std::size_t kc, const std::int8_t* a_panel,
   }
 #endif
   kernel_i8_scalar(kc, a_panel, b_panel, scale, c, ldc, rows, cols);
+}
+
+void spmm_strip_f32(const float* a_panel, const std::int32_t* row_idx,
+                    const std::int64_t* row_ptr, std::size_t nrows,
+                    const std::int32_t* col, const float* val, float* frag) {
+#ifdef TILESPARSE_X86_DISPATCH
+  if (active_simd_level() == SimdLevel::kAvx2) {
+    spmm_strip_avx2(a_panel, row_idx, row_ptr, nrows, col, val, frag);
+    return;
+  }
+#endif
+  spmm_strip_scalar(a_panel, row_idx, row_ptr, nrows, col, val, frag);
 }
 
 // ------------------------------------------------------- panel packing
@@ -272,6 +324,16 @@ void pack_a_panel_gather_f32(const float* a, std::size_t lda,
       if (fp16_inputs) v = round_to_half(v);
       ocol[r] = alpha * v;
     }
+  }
+}
+
+void pack_at_panel_f32(const float* a, std::size_t lda, std::size_t rows,
+                       std::size_t kc, float* out) {
+  for (std::size_t kk = 0; kk < kc; ++kk) {
+    float* lane = out + kk * kNr;
+    std::size_t r = 0;
+    for (; r < rows; ++r) lane[r] = a[r * lda + kk];
+    for (; r < kNr; ++r) lane[r] = 0.0f;
   }
 }
 

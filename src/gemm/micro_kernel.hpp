@@ -116,6 +116,26 @@ void pack_a_panel_gather_f32(const float* a, std::size_t lda,
                              std::size_t kc, float alpha, bool fp16_inputs,
                              float* out);
 
+/// Transposed activation pack for the panel SpMM path:
+/// out[kk*kNr + r] = A(row0 + r, kk) for r < rows (zero beyond), so the
+/// sparse row-broadcast kernel reads one contiguous kNr-lane vector of
+/// activations per sparse weight row.
+void pack_at_panel_f32(const float* a, std::size_t lda, std::size_t rows,
+                       std::size_t kc, float* out);
+
+/// Sparse row-broadcast strip kernel for panel SpMM.  `a_panel` is the
+/// transposed activation panel above (one kNr lane vector per weight
+/// row); `frag` holds the strip's C fragment transposed, kNr lanes per
+/// local output column.  For each listed weight row i (global row
+/// row_idx[i]) and each of its nonzeros p in [row_ptr[i], row_ptr[i+1])
+/// with strip-local column col[p] and value val[p]:
+///   frag[col[p]*kNr + r] += val[p] * a_panel[row_idx[i]*kNr + r]
+/// Work is proportional to nnz — no dense K loop — while every FMA is
+/// a full-width vector op on the activation lanes.
+void spmm_strip_f32(const float* a_panel, const std::int32_t* row_idx,
+                    const std::int64_t* row_ptr, std::size_t nrows,
+                    const std::int32_t* col, const float* val, float* frag);
+
 /// int8 A micro-panel (dense and gathered), kc padded to even.
 void pack_a_panel_i8(const std::int8_t* a, std::size_t lda, std::size_t rows,
                      std::size_t kc, std::int8_t* out);

@@ -237,8 +237,10 @@ void write_calibration_json(std::ostream& out,
   out << "{\n"
       << "  \"csr_mac_penalty\": " << calibration.csr_mac_penalty << ",\n"
       << "  \"tw_mac_penalty\": " << calibration.tw_mac_penalty << ",\n"
+      << "  \"bsr_mac_penalty\": " << calibration.bsr_mac_penalty << ",\n"
       << "  \"int8_mac_discount\": " << calibration.int8_mac_discount << ",\n"
       << "  \"macs_per_byte\": " << calibration.macs_per_byte << ",\n"
+      << "  \"shard_overhead_us\": " << calibration.shard_overhead_us << ",\n"
       << "  \"dense_gflops\": " << calibration.dense_gflops << ",\n"
       << "  \"source\": \"" << source << "\"\n"
       << "}\n";
@@ -295,8 +297,10 @@ PlannerCalibration read_calibration_json(std::istream& in) {
   PlannerCalibration calibration;
   json_number(text, "csr_mac_penalty", calibration.csr_mac_penalty);
   json_number(text, "tw_mac_penalty", calibration.tw_mac_penalty);
+  json_number(text, "bsr_mac_penalty", calibration.bsr_mac_penalty);
   json_number(text, "int8_mac_discount", calibration.int8_mac_discount);
   json_number(text, "macs_per_byte", calibration.macs_per_byte);
+  json_number(text, "shard_overhead_us", calibration.shard_overhead_us);
   json_number(text, "dense_gflops", calibration.dense_gflops);
   json_string(text, "source", calibration.source);
   return calibration;

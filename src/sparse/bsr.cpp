@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "gemm/micro_kernel.hpp"
+
 namespace tilesparse {
 
 Bsr bsr_from_dense(const MatrixF& dense, std::size_t block, float tol) {
@@ -58,30 +60,44 @@ void bsr_gemm_accumulate(const MatrixF& a, const Bsr& b, MatrixF& c) {
   assert(c.rows() == a.rows() && c.cols() == b.cols);
   const std::size_t blk = b.block;
   const std::size_t m = a.rows();
-  // Parallelise over block rows of B (i.e. K-strips).  Different K-strips
-  // accumulate into the same C columns, so each thread works on a private
-  // row range of A/C instead: parallel over output row blocks.
-  constexpr std::size_t kRowBlock = 32;
-  const std::size_t row_blocks = (m + kRowBlock - 1) / kRowBlock;
+  if (m == 0 || b.stored_blocks() == 0) return;
+  // Every stored block runs as a dense register-tiled micro-GEMM: B
+  // blocks are packed once into zero-padded kNr-wide panels, then each
+  // 6-row A slab streams through the block row's panels accumulating
+  // straight into C (block columns are contiguous, so no scatter).
+  const std::size_t strips = (blk + kNr - 1) / kNr;
+  const std::size_t panel_floats = strips * blk * kNr;
+  std::vector<float> panels(b.stored_blocks() * panel_floats);
+  for (std::size_t idx = 0; idx < b.stored_blocks(); ++idx) {
+    const float* blkvals = b.values.data() + idx * blk * blk;
+    float* base = panels.data() + idx * panel_floats;
+    for (std::size_t s = 0; s < strips; ++s)
+      pack_b_panel_f32(blkvals + s * kNr, blk, blk,
+                       std::min(kNr, blk - s * kNr), base + s * blk * kNr);
+  }
+  // Threads own disjoint 6-row slabs of A/C, so accumulation into C
+  // needs no synchronisation and stays deterministic.
+  const std::size_t mblocks = (m + kMr - 1) / kMr;
 #pragma omp parallel for schedule(dynamic)
-  for (std::size_t rb = 0; rb < row_blocks; ++rb) {
-    const std::size_t i0 = rb * kRowBlock;
-    const std::size_t i1 = std::min(m, i0 + kRowBlock);
+  for (std::size_t mb = 0; mb < mblocks; ++mb) {
+    GemmScratch& scratch = thread_gemm_scratch();
+    const std::size_t i0 = mb * kMr;
+    const std::size_t rows = std::min(kMr, m - i0);
+    scratch.a_f32.resize(blk * kMr);
+    float* a_panel = scratch.a_f32.data();
     for (std::size_t br = 0; br < b.block_rows(); ++br) {
+      if (b.block_row_ptr[br] == b.block_row_ptr[br + 1]) continue;
+      pack_a_panel_f32(a.data() + i0 * a.cols() + br * blk, a.cols(), rows,
+                       blk, 1.0f, false, a_panel);
       for (auto bi = b.block_row_ptr[br]; bi < b.block_row_ptr[br + 1]; ++bi) {
         const auto idx = static_cast<std::size_t>(bi);
         const auto bc = static_cast<std::size_t>(b.block_col_idx[idx]);
-        const float* blkvals = b.values.data() + idx * blk * blk;
-        for (std::size_t i = i0; i < i1; ++i) {
-          const float* arow = a.data() + i * a.cols() + br * blk;
-          float* crow = c.data() + i * c.cols() + bc * blk;
-          for (std::size_t r = 0; r < blk; ++r) {
-            const float av = arow[r];
-            if (av == 0.0f) continue;
-            const float* brow = blkvals + r * blk;
-            for (std::size_t j = 0; j < blk; ++j) crow[j] += av * brow[j];
-          }
-        }
+        const float* base = panels.data() + idx * panel_floats;
+        float* cbase = c.data() + i0 * c.cols() + bc * blk;
+        for (std::size_t s = 0; s < strips; ++s)
+          micro_kernel_f32(blk, a_panel, base + s * blk * kNr,
+                           cbase + s * kNr, c.cols(), rows,
+                           std::min(kNr, blk - s * kNr));
       }
     }
   }

@@ -38,8 +38,9 @@ Bsr bsr_from_dense(const MatrixF& dense, std::size_t block, float tol = 0.0f);
 /// Expands back to dense.
 MatrixF bsr_to_dense(const Bsr& m);
 
-/// C += A(M x K dense) * B(K x N, this BSR).  Parallel over block columns
-/// of B via per-thread column strips.
+/// C += A(M x K dense) * B(K x N, this BSR).  Each stored block runs
+/// as a register-tiled micro-GEMM on pre-packed panels; parallel over
+/// 6-row output slabs (deterministic — each C row has one owner).
 void bsr_gemm_accumulate(const MatrixF& a, const Bsr& b, MatrixF& c);
 
 }  // namespace tilesparse

@@ -51,4 +51,21 @@ void csc_gemm_accumulate(const MatrixF& a, const Csc& b, MatrixF& c) {
   }
 }
 
+Csc slice_csc_cols(const Csc& m, std::size_t n0, std::size_t n1) {
+  assert(n0 < n1 && n1 <= m.cols);
+  Csc out;
+  out.rows = m.rows;
+  out.cols = n1 - n0;
+  const auto p0 = static_cast<std::size_t>(m.col_ptr[n0]);
+  const auto p1 = static_cast<std::size_t>(m.col_ptr[n1]);
+  out.col_ptr.reserve(out.cols + 1);
+  for (std::size_t c = n0; c <= n1; ++c)
+    out.col_ptr.push_back(m.col_ptr[c] - m.col_ptr[n0]);
+  out.row_idx.assign(m.row_idx.begin() + static_cast<std::ptrdiff_t>(p0),
+                     m.row_idx.begin() + static_cast<std::ptrdiff_t>(p1));
+  out.values.assign(m.values.begin() + static_cast<std::ptrdiff_t>(p0),
+                    m.values.begin() + static_cast<std::ptrdiff_t>(p1));
+  return out;
+}
+
 }  // namespace tilesparse

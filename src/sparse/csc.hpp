@@ -30,4 +30,9 @@ MatrixF csc_to_dense(const Csc& m);
 /// C += A(MxK dense) * B(KxN, this CSC).  Column-parallel.
 void csc_gemm_accumulate(const MatrixF& a, const Csc& b, MatrixF& c);
 
+/// Column slice [n0, n1) as its own CSC.  Columns are independent in
+/// the kernel above, so executing the slice is bit-identical to the
+/// same columns of the whole matrix (wide-N sharding support).
+Csc slice_csc_cols(const Csc& m, std::size_t n0, std::size_t n1);
+
 }  // namespace tilesparse

@@ -192,13 +192,11 @@ TEST_P(SchedulerDeterminism, BitIdenticalToSingleStreamAcrossStreams) {
       EXPECT_TRUE(bit_identical(d.graph.slot(d.out), expected))
           << format << " diverged at streams=" << streams << " rep=" << rep;
     }
-    if (format == "dense" || format == "csr") {
-      EXPECT_GT(scheduler.last_stats().sharded_nodes, 0u)
-          << format << " should shard the wide-N node";
-    } else {
-      EXPECT_EQ(scheduler.last_stats().sharded_nodes, 0u)
-          << format << " cannot slice exactly and must not shard";
-    }
+    // Every built-in format slices exactly now — dense/csr by column
+    // independence, the tile formats by carrying kept_rows (and
+    // per-tile int8 scales) through the slice.
+    EXPECT_GT(scheduler.last_stats().sharded_nodes, 0u)
+        << format << " should shard the wide-N node";
   }
 }
 
@@ -208,13 +206,14 @@ INSTANTIATE_TEST_SUITE_P(AllFormats, SchedulerDeterminism,
 
 // --------------------------------------------------------- wide-N shards
 
-TEST(ShardColsTest, DenseAndCsrSlicesAreExactOnRaggedShapes) {
-  // Deliberately awkward shapes: prime-ish N, shard counts that do not
-  // divide it, slices crossing the 16-column panel boundary.
-  for (const std::string format : {"dense", "csr"}) {
+TEST(ShardColsTest, AllFormatsSliceExactOnRaggedShapes) {
+  // Deliberately awkward shapes: prime-ish N (so tile widths and shard
+  // boundaries disagree), shard counts that do not divide it, slices
+  // crossing the 16-column panel boundary and splitting tiles.
+  for (const std::string format : {"dense", "csr", "tw", "tew", "tw-int8"}) {
     const MatrixF w = random_matrix(37, 117, 21);
     const MatrixF a = random_matrix(13, 37, 22);
-    const auto packed = make_packed(format, w);
+    const auto packed = pack_for_test(format, w, 8);
     const MatrixF whole = packed->matmul(ExecContext{}, a);
 
     ASSERT_TRUE(packed->col_shardable());
@@ -239,14 +238,21 @@ TEST(ShardColsTest, DenseAndCsrSlicesAreExactOnRaggedShapes) {
   }
 }
 
-TEST(ShardColsTest, RejectsBadRangesAndUnshardableFormats) {
+TEST(ShardColsTest, AllBuiltinFormatsAreShardable) {
   const MatrixF w = random_matrix(16, 32, 2);
-  const auto dense = make_packed("dense", w);
-  EXPECT_THROW(dense->shard_cols(4, 4), std::invalid_argument);
-  EXPECT_THROW(dense->shard_cols(8, 40), std::invalid_argument);
-  const auto tw = pack_for_test("tw", w, 8);
-  EXPECT_FALSE(tw->col_shardable());
-  EXPECT_THROW(tw->shard_cols(0, 16), std::logic_error);
+  for (const std::string format : {"dense", "csr", "tw", "tew", "tw-int8"}) {
+    const auto packed = pack_for_test(format, w, 8);
+    EXPECT_TRUE(packed->col_shardable()) << format;
+  }
+}
+
+TEST(ShardColsTest, RejectsBadRanges) {
+  const MatrixF w = random_matrix(16, 32, 2);
+  for (const std::string format : {"dense", "csr", "tw", "tew", "tw-int8"}) {
+    const auto packed = pack_for_test(format, w, 8);
+    EXPECT_THROW(packed->shard_cols(4, 4), std::invalid_argument) << format;
+    EXPECT_THROW(packed->shard_cols(8, 40), std::invalid_argument) << format;
+  }
 }
 
 // ----------------------------------------------------- model graph paths
