@@ -39,6 +39,7 @@
 #include "bench_util.hpp"
 #include "exec/backend_registry.hpp"
 #include "exec/scheduler.hpp"
+#include "exec/validate.hpp"
 #include "nn/bert_mini.hpp"
 #include "prune/tw_pruner.hpp"
 #include "util/stopwatch.hpp"
@@ -157,6 +158,11 @@ int main(int argc, char** argv) {
   const TokenTeacherDataset dataset(64, config.seq, config.classes,
                                     config.dim, 77);
   BertMini model(config, dataset.embedding());
+
+  // Fail fast on a malformed execution plan: run the static verifier
+  // (exec/validate.hpp) once at startup, before any measurement —
+  // GraphValidationError prints every finding and aborts the bench.
+  validate_graph_or_throw(model.build_exec_graph());
 
   std::vector<std::size_t> stream_counts{1, 2, 4};
   if (budget >= 8) stream_counts.push_back(8);

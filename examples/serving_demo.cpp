@@ -21,6 +21,7 @@
 #include <unistd.h>
 
 #include "exec/scheduler.hpp"
+#include "exec/validate.hpp"
 #include "nn/prune_experiment.hpp"
 #include "util/stopwatch.hpp"
 
@@ -64,6 +65,24 @@ int main() {
   std::printf("artifact:                %s\n", artifact.path().c_str());
 
   std::printf("== serve side ==\n");
+  // Static verification before serving a single request: def-use,
+  // hazard-edge completeness, acyclicity, shapes, shard plans.  A
+  // malformed plan fails fast here with the verifier's diagnostics
+  // instead of serving wrong bits.
+  if (ExecGraph* graph = task->build_exec_graph()) {
+    const auto findings = validate_graph(*graph);
+    for (const GraphFinding& finding : findings)
+      std::printf("  %s\n", to_string(finding).c_str());
+    for (const GraphFinding& finding : findings) {
+      if (finding.severity == FindingSeverity::kError) {
+        std::printf("FAIL: execution graph rejected by the verifier\n");
+        return 1;
+      }
+    }
+    std::printf("graph verified:          %zu nodes, %zu finding(s)\n",
+                graph->node_count(), findings.size());
+  }
+
   // Single-stream fallback: the reference the scheduled path must match.
   SchedulerOptions single;
   single.streams = 1;

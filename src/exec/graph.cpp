@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "util/guards.hpp"
 
 namespace tilesparse {
 
@@ -27,8 +28,18 @@ void ExecGraph::check_slot(SlotId id, const char* what) const {
   }
 }
 
-void ExecGraph::link(NodeId node, const std::vector<SlotId>& reads,
-                     const std::vector<SlotId>& writes) {
+void ExecGraph::mark_input(SlotId id) {
+  check_slot(id, "mark_input");
+  slots_[id].is_input = true;
+}
+
+void ExecGraph::mark_output(SlotId id) {
+  check_slot(id, "mark_output");
+  slots_[id].is_output = true;
+}
+
+void ExecGraph::link(NodeId node) {
+  TS_CHECK(node < nodes_.size(), "link of unknown node");
   auto depend_on = [&](NodeId before) {
     if (before == node) return;
     auto& deps = nodes_[node].deps;
@@ -37,15 +48,17 @@ void ExecGraph::link(NodeId node, const std::vector<SlotId>& reads,
       nodes_[before].dependents.push_back(node);
     }
   };
-  for (SlotId id : reads) {
+  for (SlotId id : nodes_[node].reads) {
     Slot& slot = slots_[id];
-    if (slot.written) depend_on(slot.last_writer);  // RAW
+    if (auto_deps_ && slot.written) depend_on(slot.last_writer);  // RAW
     slot.readers_since_write.push_back(node);
   }
-  for (SlotId id : writes) {
+  for (SlotId id : nodes_[node].writes) {
     Slot& slot = slots_[id];
-    if (slot.written) depend_on(slot.last_writer);  // WAW
-    for (NodeId reader : slot.readers_since_write) depend_on(reader);  // WAR
+    if (auto_deps_) {
+      if (slot.written) depend_on(slot.last_writer);  // WAW
+      for (NodeId reader : slot.readers_since_write) depend_on(reader);  // WAR
+    }
     slot.written = true;
     slot.last_writer = node;
     slot.readers_since_write.clear();
@@ -73,9 +86,11 @@ ExecGraph::NodeId ExecGraph::add_gemm(std::string name,
   node.ctx.alpha = 1.0f;
   node.ctx.beta = 0.0f;
   node.bias = bias;
+  node.reads = {in};
+  node.writes = {out};
   nodes_.push_back(std::move(node));
   const NodeId id = nodes_.size() - 1;
-  link(id, {in}, {out});
+  link(id);
   return id;
 }
 
@@ -90,9 +105,11 @@ ExecGraph::NodeId ExecGraph::add_host(std::string name,
   node.name = std::move(name);
   node.kind = NodeKind::kHost;
   node.fn = std::move(fn);
+  node.reads = std::move(reads);
+  node.writes = std::move(writes);
   nodes_.push_back(std::move(node));
   const NodeId id = nodes_.size() - 1;
-  link(id, reads, writes);
+  link(id);
   return id;
 }
 
@@ -100,11 +117,8 @@ void ExecGraph::add_dep(NodeId node, NodeId before) {
   if (node >= nodes_.size() || before >= nodes_.size()) {
     throw std::invalid_argument("ExecGraph::add_dep: node out of range");
   }
-  if (before >= node) {
-    // Edges may only point at earlier nodes: the build order is the
-    // proof the graph stays acyclic.
-    throw std::invalid_argument(
-        "ExecGraph::add_dep: dependency must precede the node");
+  if (before == node) {
+    throw std::invalid_argument("ExecGraph::add_dep: self-dependency");
   }
   auto& deps = nodes_[node].deps;
   if (std::find(deps.begin(), deps.end(), before) == deps.end()) {
@@ -118,9 +132,10 @@ std::size_t ExecGraph::max_gemm_width() const {
   // another.  Exact antichain width is overkill for a diagnostic; we
   // count GEMMs per dependency depth level and take the maximum, which
   // is exact for the layered graphs the models build.
+  const std::vector<NodeId> order = topo_order();
   std::vector<std::size_t> depth(nodes_.size(), 0);
   std::size_t max_depth = 0;
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
+  for (NodeId id : order) {
     for (NodeId dep : nodes_[id].deps)
       depth[id] = std::max(depth[id], depth[dep] + 1);
     max_depth = std::max(max_depth, depth[id]);
@@ -135,10 +150,36 @@ std::size_t ExecGraph::max_gemm_width() const {
 }
 
 std::vector<ExecGraph::NodeId> ExecGraph::topo_order() const {
-  // Edges always point at earlier nodes (enforced in add_dep and
-  // implied by the dataflow linking), so insertion order is topological.
-  std::vector<NodeId> order(nodes_.size());
-  for (NodeId id = 0; id < nodes_.size(); ++id) order[id] = id;
+  // Kahn's algorithm with a lowest-id-first ready heap: auto-built
+  // graphs (whose derived edges all point backwards) come out in
+  // insertion order, and explicit forward edges from add_dep are
+  // honored too.
+  std::vector<std::size_t> pending(nodes_.size());
+  std::vector<NodeId> ready;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    pending[id] = nodes_[id].deps.size();
+    if (pending[id] == 0) ready.push_back(id);
+  }
+  std::make_heap(ready.begin(), ready.end(), std::greater<>{});
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    std::pop_heap(ready.begin(), ready.end(), std::greater<>{});
+    const NodeId id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    for (NodeId dependent : nodes_[id].dependents) {
+      if (--pending[dependent] == 0) {
+        ready.push_back(dependent);
+        std::push_heap(ready.begin(), ready.end(), std::greater<>{});
+      }
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    throw std::logic_error(
+        "ExecGraph::topo_order: dependency edges contain a cycle (run "
+        "validate_graph() for the offending path)");
+  }
   return order;
 }
 
@@ -155,6 +196,21 @@ void ExecGraph::execute_node(NodeId id) {
   }
   node.weight->matmul(node.ctx, a, c);
   if (node.bias) add_row_bias(c, *node.bias);
+}
+
+void ExecGraph::poison_slots() {
+#if defined(TILESPARSE_ENABLE_GUARDS)
+  // Only graphs that declare their inputs can be poisoned safely: on a
+  // legacy graph (nothing marked) every slot would be a candidate,
+  // including the ones the caller just fed.
+  bool any_input = false;
+  for (const Slot& slot : slots_) any_input = any_input || slot.is_input;
+  if (!any_input) return;
+  for (Slot& slot : slots_) {
+    if (slot.is_input) continue;
+    poison_nan(slot.buffer.data(), slot.buffer.size());
+  }
+#endif
 }
 
 }  // namespace tilesparse

@@ -7,7 +7,9 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "exec/validate.hpp"
 #include "tensor/ops.hpp"
+#include "util/guards.hpp"
 
 namespace tilesparse {
 namespace {
@@ -84,6 +86,20 @@ void ExecScheduler::prepare(ExecGraph& graph) {
       plans_[i].shards.push_back(std::move(shard));
       n0 = n1;
     }
+    if (options_.validate && !plans_[i].shards.empty()) {
+      // Audit the *actual* plan, not a re-derivation: the slices above
+      // are what will execute, so a shard_cols implementation that
+      // mis-shapes a slice is caught before it computes a single MAC.
+      std::vector<std::pair<std::size_t, std::size_t>> slices;
+      slices.reserve(plans_[i].shards.size());
+      for (const Shard& shard : plans_[i].shards)
+        slices.emplace_back(shard.n0, shard.n1);
+      auto findings = audit_shard_slices(*nodes[i].weight, slices);
+      for (const GraphFinding& finding : findings) {
+        if (finding.severity == FindingSeverity::kError)
+          throw GraphValidationError(std::move(findings));
+      }
+    }
   }
 
   // Expand nodes into dispatch tasks: one per whole node, or S column
@@ -151,6 +167,14 @@ void ExecScheduler::run(ExecGraph& graph) {
     stats_ = RunStats{};
     return;
   }
+  if (options_.validate && validated_build_id_ != graph.build_id()) {
+    // One static pass per graph: def-use, hazard coverage, acyclicity,
+    // shapes, shard plans.  Throws GraphValidationError (all findings
+    // listed) instead of dispatching a malformed plan.
+    validate_graph_or_throw(graph);
+    validated_build_id_ = graph.build_id();
+  }
+  graph.poison_slots();  // guards builds: NaN out every non-input slot
   if (streams() <= 1) {
     run_serial(graph);
     return;
@@ -165,6 +189,8 @@ void ExecScheduler::execute_task(ExecGraph& graph, const Task& task) {
   }
   const ExecGraph::Node& node = graph.nodes()[task.node];
   if (task.shard >= 0) {
+    TS_ASSERT(static_cast<std::size_t>(task.shard) <
+              plans_[task.node].shards.size());
     Shard& shard = plans_[task.node].shards[static_cast<std::size_t>(task.shard)];
     const MatrixF& a = graph.slot(node.in);
     const std::size_t width = shard.n1 - shard.n0;
@@ -244,9 +270,8 @@ void ExecScheduler::run_concurrent(ExecGraph& graph) {
 
   pool_->parallel_for(0, streams(), stream_loop);
   if (error) std::rethrow_exception(error);
-  if (executed != tasks_.size()) {
-    throw std::logic_error("ExecScheduler: graph did not complete");
-  }
+  TS_CHECK(executed == tasks_.size(),
+           "ExecScheduler: graph did not complete (dispatch invariant)");
 }
 
 }  // namespace tilesparse

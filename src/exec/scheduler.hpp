@@ -43,6 +43,11 @@ struct SchedulerOptions {
   /// Concurrent worker streams.  1 = single-stream reference (serial,
   /// no queue, no shards); 0 = the pool's worker count.
   std::size_t streams = 0;
+  /// Statically verify the graph (exec/validate.hpp) once per graph
+  /// build id before the first dispatch — def-use, hazard-edge
+  /// completeness, acyclicity, shapes, shard plans.  run() throws
+  /// GraphValidationError listing every finding on a malformed graph.
+  bool validate = true;
   /// Split very wide GEMM outputs into column shards.  All five
   /// built-in formats slice exactly (tile formats carry kept_rows and
   /// per-tile scales through the slice); int8 *activation* nodes are
@@ -125,6 +130,7 @@ class ExecScheduler {
   // id) whenever weights are re-packed; the node count catches a graph
   // that grew new nodes in place.
   std::uint64_t planned_build_id_ = 0;
+  std::uint64_t validated_build_id_ = 0;
   std::size_t planned_node_count_ = 0;
   std::size_t planned_streams_ = 0;
   std::vector<NodePlan> plans_;

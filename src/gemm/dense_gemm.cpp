@@ -1,9 +1,9 @@
 #include "gemm/dense_gemm.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 #include "gemm/micro_kernel.hpp"
+#include "util/guards.hpp"
 
 namespace tilesparse {
 
@@ -31,8 +31,9 @@ PackedDenseB pack_dense_b(const MatrixF& b, const GemmConfig& config) {
 
 void dense_gemm(const MatrixF& a, const PackedDenseB& b, MatrixF& c,
                 float alpha, float beta, const GemmConfig& config) {
-  assert(a.cols() == b.k);
-  assert(c.rows() == a.rows() && c.cols() == b.n);
+  TS_CHECK(a.cols() == b.k, "dense_gemm: A cols must equal packed K");
+  TS_CHECK(c.rows() == a.rows() && c.cols() == b.n,
+           "dense_gemm: C shape mismatch");
   const std::size_t m = a.rows(), k = b.k, n = b.n;
 
   if (beta == 0.0f) {
@@ -77,8 +78,9 @@ void dense_gemm(const MatrixF& a, const PackedDenseB& b, MatrixF& c,
 
 void dense_gemm(const MatrixF& a, const MatrixF& b, MatrixF& c, float alpha,
                 float beta, const GemmConfig& config) {
-  assert(a.cols() == b.rows());
-  assert(c.rows() == a.rows() && c.cols() == b.cols());
+  TS_CHECK(a.cols() == b.rows(), "dense_gemm: A cols must equal B rows");
+  TS_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
+           "dense_gemm: C shape mismatch");
   // One-shot path: pack B here (an O(K*N) pass amortised over the
   // O(M*N*K) compute).  Steady-state callers hold a PackedDenseB.
   dense_gemm(a, pack_dense_b(b, config), c, alpha, beta, config);

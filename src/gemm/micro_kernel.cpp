@@ -229,6 +229,7 @@ SimdLevel set_simd_level(SimdLevel level) noexcept {
 void micro_kernel_f32(std::size_t kc, const float* a_panel,
                       const float* b_panel, float* c, std::size_t ldc,
                       std::size_t rows, std::size_t cols) {
+  TS_ASSERT(rows <= kMr && cols <= kNr && cols <= ldc);
 #ifdef TILESPARSE_X86_DISPATCH
   if (active_simd_level() == SimdLevel::kAvx2) {
     kernel_f32_avx2(kc, a_panel, b_panel, c, ldc, rows, cols);
@@ -241,6 +242,7 @@ void micro_kernel_f32(std::size_t kc, const float* a_panel,
 void micro_kernel_i8(std::size_t kc, const std::int8_t* a_panel,
                      const std::int8_t* b_panel, float scale, float* c,
                      std::size_t ldc, std::size_t rows, std::size_t cols) {
+  TS_ASSERT(rows <= kMr && cols <= kNr && cols <= ldc);
 #ifdef TILESPARSE_X86_DISPATCH
   if (active_simd_level() == SimdLevel::kAvx2) {
     kernel_i8_avx2(kc, a_panel, b_panel, scale, c, ldc, rows, cols);

@@ -32,7 +32,8 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
+
+#include "util/guards.hpp"
 
 namespace tilesparse {
 
@@ -150,12 +151,16 @@ void pack_a_panel_gather_i8(const std::int8_t* a, std::size_t lda,
 /// heap allocation on every row block (the seed kernel's a_panel bug).
 /// Each worker instead reuses these buffers across blocks and across
 /// GEMM calls; resize() is a no-op once the high-water mark is reached.
+/// Under TILESPARSE_ENABLE_GUARDS each buffer carries front/back
+/// canaries (verified on resize and release) and fresh float growth is
+/// NaN-poisoned, so a kernel that reads or writes outside its packed
+/// panel fails loudly (util/guards.hpp).
 struct GemmScratch {
-  std::vector<float> a_f32;        ///< packed A micro-panels
-  std::vector<float> b_f32;        ///< packed B panels
-  std::vector<float> acc_f32;      ///< dense accumulator before scatter
-  std::vector<std::int8_t> a_i8;   ///< packed int8 A micro-panels
-  std::vector<std::int8_t> b_i8;   ///< packed int8 B panels
+  GuardedVec<float> a_f32;        ///< packed A micro-panels
+  GuardedVec<float> b_f32;        ///< packed B panels
+  GuardedVec<float> acc_f32;      ///< dense accumulator before scatter
+  GuardedVec<std::int8_t> a_i8;   ///< packed int8 A micro-panels
+  GuardedVec<std::int8_t> b_i8;   ///< packed int8 B panels
 };
 
 /// The calling thread's scratch (thread_local storage).

@@ -175,6 +175,7 @@ ExecGraph& BertMini::build_exec_graph() {
   graph_ = std::make_unique<ExecGraph>();
   ExecGraph& g = *graph_;
   graph_in_ = g.add_slot("x");
+  g.mark_input(graph_in_);
   ExecGraph::SlotId x = graph_in_;
   for (std::size_t l = 0; l < blocks_.size(); ++l) {
     Block* blk = &blocks_[l];
@@ -224,6 +225,7 @@ ExecGraph& BertMini::build_exec_graph() {
   });
   graph_out_ = g.add_slot("logits");
   classifier_->add_to_graph(g, pooled, graph_out_);
+  g.mark_output(graph_out_);
   return g;
 }
 

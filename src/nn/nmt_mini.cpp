@@ -68,6 +68,8 @@ ExecGraph& NmtMini::build_exec_graph() {
   ExecGraph& g = *graph_;
   graph_src_ = g.add_slot("src.embed");
   graph_dec_in_ = g.add_slot("dec.in");
+  g.mark_input(graph_src_);
+  g.mark_input(graph_dec_in_);
   const ExecGraph::SlotId enc_xproj = g.add_slot("enc.xproj");
   const ExecGraph::SlotId dec_xproj = g.add_slot("dec.xproj");
   const ExecGraph::SlotId dec_h = g.add_slot("dec.h");
@@ -95,6 +97,7 @@ ExecGraph& NmtMini::build_exec_graph() {
 
   graph_out_ = g.add_slot("logits");
   out_proj_->add_to_graph(g, dec_h, graph_out_);
+  g.mark_output(graph_out_);
   return g;
 }
 

@@ -304,6 +304,7 @@ class BertTaskBase : public PruneTask {
     model_.set_exec_scheduler(scheduler);
     return true;
   }
+  ExecGraph* build_exec_graph() override { return &model_.build_exec_graph(); }
 
   void train_steps(int steps) override {
     SgdOptimizer opt(model_.params(), lr_, 0.9f);
@@ -408,6 +409,11 @@ class VggTask final : public PruneTask {
     return true;
   }
   void clear_packed_weights() override { model_.clear_packed_weights(); }
+  bool set_exec_scheduler(ExecScheduler* scheduler) override {
+    model_.set_exec_scheduler(scheduler);
+    return true;
+  }
+  ExecGraph* build_exec_graph() override { return &model_.build_exec_graph(); }
 
   void train_steps(int steps) override {
     SgdOptimizer opt(model_.params(), lr_, 0.9f);
@@ -460,6 +466,7 @@ class NmtTask final : public PruneTask {
     model_.set_exec_scheduler(scheduler);
     return true;
   }
+  ExecGraph* build_exec_graph() override { return &model_.build_exec_graph(); }
 
   void train_steps(int steps) override {
     AdamOptimizer opt(model_.params(), lr_);

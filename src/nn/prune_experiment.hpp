@@ -85,6 +85,11 @@ class PruneTask {
     (void)scheduler;
     return false;
   }
+
+  /// Builds and returns the model's execution graph over the currently
+  /// installed backends, for static verification (exec/validate.hpp)
+  /// at serving startup.  Null when the task has no graph path.
+  virtual ExecGraph* build_exec_graph() { return nullptr; }
 };
 
 /// Result of one prune-and-fine-tune run.

@@ -7,11 +7,14 @@
 #include <memory>
 #include <vector>
 
+#include "exec/graph.hpp"
 #include "nn/conv.hpp"
 #include "nn/layers.hpp"
 #include "workload/datasets.hpp"
 
 namespace tilesparse {
+
+class ExecScheduler;
 
 struct VggMiniConfig {
   std::size_t channels = 3;
@@ -44,6 +47,20 @@ class VggMini {
                     const ExecContext& ctx = {});
   void clear_packed_weights();
 
+  /// Builds (or rebuilds) the model-level execution plan: the conv trunk
+  /// as one host node (its GEMMs run through each conv layer's own
+  /// packed backend), then fc1 -> ReLU -> fc2 as graph nodes, so the FC
+  /// GEMMs schedule/shard through the unified exec API.
+  ExecGraph& build_exec_graph();
+  ExecGraph* exec_graph() noexcept { return graph_.get(); }
+
+  /// Routes forward() through the execution graph dispatched by
+  /// `scheduler` (non-owning; null returns to the layer-by-layer path).
+  /// The graph is built lazily on the next forward().
+  void set_exec_scheduler(ExecScheduler* scheduler) noexcept {
+    scheduler_ = scheduler;
+  }
+
   const VggMiniConfig& config() const noexcept { return config_; }
 
  private:
@@ -57,6 +74,16 @@ class VggMini {
   std::unique_ptr<Linear> fc1_;
   std::unique_ptr<ReLU> relu3_;
   std::unique_ptr<Linear> fc2_;
+
+  std::unique_ptr<ExecGraph> graph_;
+  ExecGraph::SlotId graph_in_ = 0, graph_out_ = 0;
+  ExecScheduler* scheduler_ = nullptr;
+  bool graph_forward_ = false;  ///< last forward ran through the graph
+  /// packed_version() of the FC layers whose backends the graph refs;
+  /// a mismatch means a backend was replaced and the graph must be
+  /// rebuilt (the conv trunk runs through forward() and cannot dangle).
+  std::vector<std::uint64_t> graph_versions_;
+  std::vector<std::uint64_t> current_graph_versions();
 };
 
 }  // namespace tilesparse

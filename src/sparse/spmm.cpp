@@ -1,9 +1,9 @@
 #include "sparse/spmm.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 #include "gemm/micro_kernel.hpp"
+#include "util/guards.hpp"
 
 namespace tilesparse {
 
@@ -15,7 +15,7 @@ constexpr std::size_t kDefaultStripCols = 256;
 }  // namespace
 
 MatrixF csr_spmm(const Csr& a, const MatrixF& b) {
-  assert(a.cols == b.rows());
+  TS_CHECK(a.cols == b.rows(), "csr_spmm: A cols must equal B rows");
   MatrixF c(a.rows, b.cols());
   const std::size_t n = b.cols();
 #pragma omp parallel for schedule(dynamic, 16)
@@ -39,8 +39,9 @@ MatrixF dense_times_csr(const MatrixF& a, const Csr& b) {
 }
 
 void dense_times_csr_accumulate(const MatrixF& a, const Csr& b, MatrixF& c) {
-  assert(a.cols() == b.rows);
-  assert(c.rows() == a.rows() && c.cols() == b.cols);
+  TS_CHECK(a.cols() == b.rows, "dense_times_csr: A cols must equal B rows");
+  TS_CHECK(c.rows() == a.rows() && c.cols() == b.cols,
+           "dense_times_csr: C shape mismatch");
   const std::size_t m = a.rows();
 #pragma omp parallel for schedule(dynamic, 16)
   for (std::size_t i = 0; i < m; ++i) {
@@ -99,8 +100,9 @@ CsrPanels build_csr_panels(const Csr& csr, std::size_t strip_cols) {
 
 void csr_panels_spmm_accumulate(const MatrixF& a, const CsrPanels& b,
                                 MatrixF& c) {
-  assert(a.cols() == b.rows);
-  assert(c.rows() == a.rows() && c.cols() == b.cols);
+  TS_CHECK(a.cols() == b.rows, "csr_panels_spmm: A cols must equal B rows");
+  TS_CHECK(c.rows() == a.rows() && c.cols() == b.cols,
+           "csr_panels_spmm: C shape mismatch");
   const std::size_t m = a.rows();
   const std::size_t depth = b.rows;
   if (m == 0 || b.cols == 0) return;
@@ -119,6 +121,7 @@ void csr_panels_spmm_accumulate(const MatrixF& a, const CsrPanels& b,
     for (const CsrPanels::Strip& strip : b.strips) {
       if (strip.row_idx.empty()) continue;
       const std::size_t width = strip.n1 - strip.n0;
+      TS_ASSERT(width <= b.strip_cols && strip.n1 <= b.cols);
       std::fill(frag, frag + width * kNr, 0.0f);
       spmm_strip_f32(a_panel, strip.row_idx.data(), strip.row_ptr.data(),
                      strip.row_idx.size(), strip.col.data(), strip.val.data(),

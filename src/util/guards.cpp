@@ -1,0 +1,30 @@
+#include "util/guards.hpp"
+
+namespace tilesparse {
+namespace detail {
+
+[[noreturn]] void check_failed(const char* cond, const char* file, int line,
+                               const char* msg) {
+  throw CheckError(std::string("TS_CHECK failed: ") + msg + " [" + cond +
+                   "] at " + file + ":" + std::to_string(line));
+}
+
+#if defined(TILESPARSE_ENABLE_GUARDS)
+void canary_failed(const char* where) {
+  // Corrupted canaries mean some kernel already scribbled outside its
+  // buffer; the process state is untrusted, so fail hard rather than
+  // unwind through it.
+  throw CheckError(std::string("GuardedVec: ") + where + " corrupted");
+}
+#endif
+
+}  // namespace detail
+
+#if defined(TILESPARSE_ENABLE_GUARDS)
+void poison_nan(float* data, std::size_t count) noexcept {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  for (std::size_t i = 0; i < count; ++i) data[i] = nan;
+}
+#endif
+
+}  // namespace tilesparse

@@ -1,0 +1,164 @@
+#pragma once
+// Debug-build memory guards and invariant-check macros.
+//
+// Two tiers of checking, chosen by cost:
+//
+//  * TS_CHECK(cond, msg) — always compiled.  For cheap internal
+//    invariants on cold paths (scheduler bookkeeping, graph linking,
+//    pool lifecycle).  Failure throws tilesparse::CheckError with the
+//    source location; an invariant violation is a library bug, and a
+//    throw is recoverable by the caller (and testable), unlike abort().
+//
+//  * TS_ASSERT(cond) — compiled only when TILESPARSE_ENABLE_GUARDS is
+//    defined (the -DTILESPARSE_ENABLE_GUARDS=ON CMake option).  For
+//    per-element conditions on hot paths (panel packing bounds, strip
+//    indices) that would cost real throughput in release builds.
+//
+// The same option enables the memory instrumentation:
+//
+//  * GuardedVec<T> — a vector whose payload is bracketed by front/back
+//    canary words.  Canaries are verified on every resize and on
+//    destruction, so a kernel that writes past the end of its packing
+//    scratch fails loudly at the next reuse instead of corrupting the
+//    neighbouring allocation.  With guards off it compiles down to a
+//    plain std::vector wrapper with zero overhead.
+//
+//  * poison_nan() — fills fresh float buffers with quiet NaNs, so a
+//    consumer that reads a slot before its producer ran propagates NaN
+//    into its output (caught by any result comparison) instead of
+//    silently reading zeros that happen to look plausible.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tilesparse {
+
+/// Thrown by TS_CHECK (and guard verification) on a violated internal
+/// invariant.  Distinct from invalid_argument: seeing this means a bug
+/// *inside* the library, not bad caller input.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* cond, const char* file, int line,
+                               const char* msg);
+}  // namespace detail
+
+#define TS_CHECK(cond, msg)                                         \
+  do {                                                              \
+    if (!(cond))                                                    \
+      ::tilesparse::detail::check_failed(#cond, __FILE__, __LINE__, \
+                                         (msg));                    \
+  } while (0)
+
+#if defined(TILESPARSE_ENABLE_GUARDS)
+#define TS_ASSERT(cond) TS_CHECK(cond, "debug assertion")
+#else
+#define TS_ASSERT(cond) \
+  do {                  \
+  } while (0)
+#endif
+
+/// Quiet-NaN poison fill for float buffers (no-op for other types, and
+/// a no-op entirely when guards are off).
+#if defined(TILESPARSE_ENABLE_GUARDS)
+void poison_nan(float* data, std::size_t count) noexcept;
+#else
+inline void poison_nan(float*, std::size_t) noexcept {}
+#endif
+
+#if defined(TILESPARSE_ENABLE_GUARDS)
+
+namespace detail {
+/// Canary word pattern; repeated over kCanaryCount * sizeof(T) bytes on
+/// each side of the payload.
+inline constexpr unsigned char kCanaryByte = 0xA5;
+inline constexpr std::size_t kCanaryBytes = 64;
+void canary_failed(const char* where);
+}  // namespace detail
+
+/// std::vector with front/back canary regions around the payload.
+/// Exposes only the slice of vector API the GEMM scratch paths use.
+template <typename T>
+class GuardedVec {
+ public:
+  GuardedVec() = default;
+  GuardedVec(const GuardedVec&) = delete;
+  GuardedVec& operator=(const GuardedVec&) = delete;
+  ~GuardedVec() { check(); }
+
+  /// Grow-only ("ensure at least count"): the scratch buffers this
+  /// backs are high-water-mark reused, and keeping the back canary at
+  /// the high-water edge means it guards every smaller use too.
+  void resize(std::size_t count) {
+    check();
+    if (count <= size_) return;
+    storage_.resize(pad() + count + pad());
+    size_ = count;
+    std::memset(storage_.data(), detail::kCanaryByte, pad() * sizeof(T));
+    std::memset(storage_.data() + pad() + size_, detail::kCanaryByte,
+                pad() * sizeof(T));
+    if constexpr (std::is_same_v<T, float>) poison_nan(data(), size_);
+  }
+
+  T* data() noexcept { return storage_.data() + pad(); }
+  const T* data() const noexcept { return storage_.data() + pad(); }
+  std::size_t size() const noexcept { return size_; }
+
+  /// Verifies both canary regions; called on resize and destruction.
+  void check() const {
+    if (storage_.empty()) return;
+    const auto* bytes =
+        reinterpret_cast<const unsigned char*>(storage_.data());
+    for (std::size_t i = 0; i < pad() * sizeof(T); ++i) {
+      if (bytes[i] != detail::kCanaryByte)
+        detail::canary_failed("front canary (buffer underrun)");
+    }
+    const auto* back =
+        reinterpret_cast<const unsigned char*>(storage_.data() + pad() + size_);
+    for (std::size_t i = 0; i < pad() * sizeof(T); ++i) {
+      if (back[i] != detail::kCanaryByte)
+        detail::canary_failed("back canary (buffer overrun)");
+    }
+  }
+
+ private:
+  static constexpr std::size_t pad() noexcept {
+    return (detail::kCanaryBytes + sizeof(T) - 1) / sizeof(T);
+  }
+
+  std::vector<T> storage_;
+  std::size_t size_ = 0;  ///< logical size; storage_ keeps the high-water mark
+};
+
+#else  // !TILESPARSE_ENABLE_GUARDS
+
+/// Zero-overhead fallback: a thin std::vector wrapper with the same
+/// surface, so call sites compile identically in both build modes.
+template <typename T>
+class GuardedVec {
+ public:
+  GuardedVec() = default;
+  GuardedVec(const GuardedVec&) = delete;
+  GuardedVec& operator=(const GuardedVec&) = delete;
+
+  void resize(std::size_t count) { storage_.resize(count); }
+  T* data() noexcept { return storage_.data(); }
+  const T* data() const noexcept { return storage_.data(); }
+  std::size_t size() const noexcept { return storage_.size(); }
+  void check() const noexcept {}
+
+ private:
+  std::vector<T> storage_;
+};
+
+#endif  // TILESPARSE_ENABLE_GUARDS
+
+}  // namespace tilesparse

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/guards.hpp"
+
 namespace tilesparse {
 
 thread_local bool ThreadPool::inside_worker_ = false;
@@ -111,6 +113,11 @@ void ThreadPool::parallel_for_chunked(
     std::unique_lock lock(mutex_);
     current_ = nullptr;
     detached_cv_.wait(lock, [&] { return task.attached == 0; });
+    // The PR 5 use-after-return: releasing this frame with a worker
+    // still attached (or chunks outstanding) is the exact bug class the
+    // attach/detach protocol exists to prevent.
+    TS_CHECK(task.attached == 0 && task.remaining_chunks.load() == 0,
+             "ThreadPool: task released with workers attached");
   }
 }
 

@@ -9,7 +9,9 @@ std::vector<LayerGemm> bert_base_gemms(std::size_t seq, std::size_t batch) {
   constexpr std::size_t kLayers = 12;
   std::vector<LayerGemm> gemms;
   for (std::size_t layer = 0; layer < kLayers; ++layer) {
-    const std::string p = "L" + std::to_string(layer) + ".";
+    std::string p = "L";
+    p += std::to_string(layer);
+    p += ".";
     gemms.push_back({p + "attn.q", {m, kHidden, kHidden}, 1});
     gemms.push_back({p + "attn.k", {m, kHidden, kHidden}, 1});
     gemms.push_back({p + "attn.v", {m, kHidden, kHidden}, 1});

@@ -1,0 +1,151 @@
+// Fuzz harness for the deployment wire formats (io/serialize): the
+// single-weight TSPW container (read_packed_weight) and the model-level
+// TSMW artifact (read_model_weights).  These parsers consume untrusted
+// bytes at serving startup, so the contract under fuzzing is strict:
+// any input either parses or throws std::exception — no crash, no
+// sanitizer report, no unbounded allocation (sizes are validated
+// against the stream length before allocation).
+//
+// Built two ways (CMakeLists TILESPARSE_ENABLE_FUZZER):
+//  * libFuzzer (clang): LLVMFuzzerTestOneInput only; link with
+//    -fsanitize=fuzzer,address,undefined.
+//  * standalone (any compiler): a main() that replays corpus files —
+//      wire_fuzz --write-seeds <dir>   emit valid seed inputs
+//      wire_fuzz <file|dir>...         replay inputs (dirs recurse one level)
+//    so the seeded-corpus smoke runs even without clang.
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <sstream>
+#include <string>
+
+#include "exec/backend_registry.hpp"
+#include "io/serialize.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void fuzz_one(const std::uint8_t* data, std::size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  {
+    std::istringstream in(bytes, std::ios::binary);
+    try {
+      (void)tilesparse::read_packed_weight(in);
+    } catch (const std::exception&) {
+      // Malformed input rejected — the expected failure mode.
+    }
+  }
+  {
+    std::istringstream in(bytes, std::ios::binary);
+    try {
+      (void)tilesparse::read_model_weights(in);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  fuzz_one(data, size);
+  return 0;
+}
+
+#ifndef TILESPARSE_LIBFUZZER
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <utility>
+#include <vector>
+
+namespace {
+
+tilesparse::MatrixF random_matrix(std::size_t rows, std::size_t cols,
+                                  std::uint64_t seed) {
+  tilesparse::MatrixF m(rows, cols);
+  tilesparse::Rng rng(seed);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.normal();
+  return m;
+}
+
+/// Emits valid artifacts of every registered pattern-free format plus a
+/// model-level container — the corpus seeds that give the fuzzer real
+/// headers and payloads to mutate.
+int write_seeds(const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+  const tilesparse::MatrixF w = random_matrix(24, 32, 7);
+  std::vector<std::pair<std::string, std::unique_ptr<tilesparse::PackedWeight>>>
+      packed;
+  for (const std::string& format : tilesparse::registered_formats()) {
+    try {
+      packed.emplace_back(format, tilesparse::make_packed(format, w));
+    } catch (const std::exception&) {
+      // Formats needing a TilePattern (tw family without options) are
+      // covered through the mutation of the pattern-free seeds.
+    }
+  }
+  for (const auto& [format, weight] : packed) {
+    std::ostringstream out(std::ios::binary);
+    tilesparse::write_packed_weight(out, *weight);
+    std::ofstream file(dir / ("tspw_" + format + ".bin"), std::ios::binary);
+    file << out.str();
+  }
+  std::vector<std::pair<std::string, const tilesparse::PackedWeight*>> layers;
+  for (const auto& [format, weight] : packed)
+    layers.emplace_back("layer." + format, weight.get());
+  std::ostringstream out(std::ios::binary);
+  tilesparse::write_model_weights(out, layers);
+  std::ofstream file(dir / "tsmw_model.bin", std::ios::binary);
+  file << out.str();
+  std::cout << "wire_fuzz: wrote " << packed.size() + 1 << " seeds to " << dir
+            << "\n";
+  return 0;
+}
+
+int replay_file(const std::filesystem::path& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    std::cerr << "wire_fuzz: cannot read " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer(std::ios::binary);
+  buffer << file.rdbuf();
+  const std::string bytes = buffer.str();
+  fuzz_one(reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::string(argv[1]) == "--write-seeds")
+    return write_seeds(argv[2]);
+  if (argc < 2) {
+    std::cerr << "usage: wire_fuzz --write-seeds <dir> | wire_fuzz "
+                 "<file|dir>...\n";
+    return 2;
+  }
+  int failures = 0;
+  std::size_t replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path path(argv[i]);
+    if (std::filesystem::is_directory(path)) {
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (!entry.is_regular_file()) continue;
+        failures += replay_file(entry.path());
+        ++replayed;
+      }
+    } else {
+      failures += replay_file(path);
+      ++replayed;
+    }
+  }
+  std::cout << "wire_fuzz: replayed " << replayed << " input(s)\n";
+  return failures == 0 ? 0 : 1;
+}
+
+#endif  // TILESPARSE_LIBFUZZER
