@@ -2,6 +2,7 @@
 // Shared helpers for the per-figure benchmark binaries.
 
 #include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +42,13 @@ struct BenchRecord {
   double metric = -1.0;            ///< task metric (fmt_pareto); < 0 when n/a
   double bytes = -1.0;             ///< packed footprint (fmt_pareto)
   double macs = -1.0;              ///< effective MACs (fmt_pareto)
+  // Request-latency distribution + shed counts (bench/serving rows
+  // measured through the ServingRuntime); emitted only when set.
+  double p50_ms = -1.0;
+  double p95_ms = -1.0;
+  double p99_ms = -1.0;
+  std::int64_t timeouts = -1;  ///< requests that missed their deadline
+  std::int64_t rejected = -1;  ///< requests shed at admission
 };
 
 class BenchJson {
@@ -70,6 +78,11 @@ class BenchJson {
       if (r.metric >= 0.0) out << ", \"metric\": " << r.metric;
       if (r.bytes >= 0.0) out << ", \"bytes\": " << r.bytes;
       if (r.macs >= 0.0) out << ", \"macs\": " << r.macs;
+      if (r.p50_ms >= 0.0) out << ", \"p50_ms\": " << r.p50_ms;
+      if (r.p95_ms >= 0.0) out << ", \"p95_ms\": " << r.p95_ms;
+      if (r.p99_ms >= 0.0) out << ", \"p99_ms\": " << r.p99_ms;
+      if (r.timeouts >= 0) out << ", \"timeouts\": " << r.timeouts;
+      if (r.rejected >= 0) out << ", \"rejected\": " << r.rejected;
       out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
     }
     out << "]\n";

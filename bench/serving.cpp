@@ -27,6 +27,7 @@
 // --secs=0.05 --batch=2 --dim=64 --ffn=128 --layers=2 --seq=8).
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +43,7 @@
 #include "exec/validate.hpp"
 #include "nn/bert_mini.hpp"
 #include "prune/tw_pruner.hpp"
+#include "serve/serving_runtime.hpp"
 #include "util/stopwatch.hpp"
 #include "util/threadpool.hpp"
 #include "workload/datasets.hpp"
@@ -55,24 +57,129 @@ using bench::size_flag;
 struct Measured {
   double requests_per_sec = 0.0;
   double ms_per_request = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
 };
 
-/// Serves `batch`-sized requests for ~secs and returns the rate.
-Measured serve(BertMini& model, const TokenTeacherDataset& dataset,
+/// Nearest-rank percentile over an unsorted sample (sorts in place).
+double percentile_ms(std::vector<double>& samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  return samples[std::min(samples.size() - 1, rank > 0 ? rank - 1 : 0)];
+}
+
+void fill_percentiles(Measured& out, std::vector<double>& latencies_ms) {
+  out.p50_ms = percentile_ms(latencies_ms, 0.50);
+  out.p95_ms = percentile_ms(latencies_ms, 0.95);
+  out.p99_ms = percentile_ms(latencies_ms, 0.99);
+}
+
+/// Serves `batch`-sized requests for ~secs and returns the rate plus
+/// the per-request latency distribution.
+Measured serve_closed_loop(BertMini& model, const TokenTeacherDataset& dataset,
                std::size_t batch, double secs) {
   Rng rng(4242);
   const TokenBatch request = dataset.sample(batch, rng);
   model.forward(request);  // warm-up: graph build, panel packs, pool spin-up
+  std::vector<double> latencies_ms;
   Stopwatch sw;
   std::size_t served = 0;
   do {
+    Stopwatch one;
     (void)model.forward(request);
+    latencies_ms.push_back(one.seconds() * 1e3);
     ++served;
   } while (sw.seconds() < secs);
   const double elapsed = sw.seconds();  // one read: both fields consistent
   Measured out;
   out.ms_per_request = elapsed * 1e3 / static_cast<double>(served);
   out.requests_per_sec = static_cast<double>(served) / elapsed;
+  fill_percentiles(out, latencies_ms);
+  return out;
+}
+
+/// One overload measurement through the ServingRuntime: open-loop
+/// arrivals paced at ~2x the closed-loop service rate into a short
+/// admission queue, with a deadline of 3x the closed-loop latency.  The
+/// runtime must shed (REJECTED) and expire (TIMEOUT) the excess while
+/// the served requests keep a bounded latency distribution — the
+/// graceful-degradation claim, measured.
+struct OverloadMeasured {
+  Measured latency;           ///< distribution over OK requests
+  std::uint64_t ok = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t rejected = 0;
+};
+
+OverloadMeasured serve_overloaded(BertMini& model,
+                                  const TokenTeacherDataset& dataset,
+                                  std::size_t batch, std::size_t streams,
+                                  double closed_loop_ms, double secs) {
+  Rng rng(24242);
+  const TokenBatch request = dataset.sample(batch, rng);
+
+  serve::ServingOptions options;
+  options.workers = 1;  // one worker: the model is not concurrency-safe
+  options.streams = streams;
+  options.queue_capacity = 4;
+  options.max_attempts = 1;
+  serve::ServingRuntime runtime(options);
+
+  const auto deadline_budget = std::chrono::duration_cast<serve::Clock::duration>(
+      std::chrono::duration<double, std::milli>(3.0 * closed_loop_ms));
+  const double interval_s = closed_loop_ms * 1e-3 / 2.0;
+
+  std::vector<serve::RequestHandle> handles;
+  Stopwatch sw;
+  std::size_t submitted = 0;
+  while (sw.seconds() < secs) {
+    serve::Request req;
+    req.deadline = serve::Clock::now() + deadline_budget;
+    req.work = [&model, &request](serve::WorkerContext& ctx) {
+      model.set_exec_scheduler(&ctx.scheduler);
+      MatrixF logits = model.forward(request);
+      model.set_exec_scheduler(nullptr);
+      return logits;
+    };
+    handles.push_back(runtime.submit(std::move(req)));
+    ++submitted;
+    const double next_arrival = interval_s * static_cast<double>(submitted);
+    const double now = sw.seconds();
+    if (now < next_arrival) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(next_arrival - now));
+    }
+  }
+  runtime.shutdown(serve::ServingRuntime::Shutdown::kDrain);
+  const double elapsed = sw.seconds();
+
+  OverloadMeasured out;
+  std::vector<double> latencies_ms;
+  for (const auto& handle : handles) {
+    const serve::Response& response = handle->response();
+    switch (response.status) {
+      case serve::RequestStatus::kOk: {
+        ++out.ok;
+        const auto total = response.queue_wait + response.service_time;
+        latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(total).count());
+        break;
+      }
+      case serve::RequestStatus::kTimeout:
+        ++out.timeouts;
+        break;
+      case serve::RequestStatus::kRejected:
+        ++out.rejected;
+        break;
+      default:
+        break;
+    }
+  }
+  out.latency.requests_per_sec = static_cast<double>(out.ok) / elapsed;
+  fill_percentiles(out.latency, latencies_ms);
   return out;
 }
 
@@ -183,10 +290,18 @@ int main(int argc, char** argv) {
       "serving bert-mini dim=%zu ffn=%zu layers=%zu seq=%zu batch=%zu "
       "budget=%zu threads\n",
       config.dim, config.ffn_dim, config.layers, config.seq, batch, budget);
-  std::printf("%-8s %-9s %-8s %12s %12s %10s %10s\n", "format", "sparsity",
-              "streams", "req/s", "ms/req", "GFLOP/s", "speedup");
+  std::printf("%-8s %-9s %-8s %12s %12s %8s %8s %8s %10s %10s\n", "format",
+              "sparsity", "streams", "req/s", "ms/req", "p50", "p95", "p99",
+              "GFLOP/s", "speedup");
 
   const std::size_t rows = batch * config.seq;
+  struct OverloadPoint {
+    Config cfg;
+    std::size_t streams;
+    double closed_loop_ms;
+    double sparsity;
+  };
+  std::vector<OverloadPoint> overload_points;
   for (const Config& cfg : configs) {
     double baseline = 0.0;
     for (const std::size_t streams : stream_counts) {
@@ -201,7 +316,7 @@ int main(int argc, char** argv) {
       options.reference_m = rows;
       ExecScheduler scheduler(options);
       model.set_exec_scheduler(&scheduler);
-      const Measured measured = serve(model, dataset, batch, secs);
+      const Measured measured = serve_closed_loop(model, dataset, batch, secs);
       model.set_exec_scheduler(nullptr);
       model.clear_packed_weights();
 
@@ -211,9 +326,12 @@ int main(int argc, char** argv) {
       // Effective rate over the packed encoder GEMMs: work the request
       // actually buys (pruned MACs), not the dense-equivalent count.
       const double gflops = 2.0 * stats.macs * measured.requests_per_sec * 1e-9;
-      std::printf("%-8s %-9.2f %-8zu %12.1f %12.3f %10.2f %9.2fx\n", cfg.format,
-                  stats.sparsity(), streams, measured.requests_per_sec,
-                  measured.ms_per_request, gflops, speedup);
+      std::printf("%-8s %-9.2f %-8zu %12.1f %12.3f %8.3f %8.3f %8.3f %10.2f "
+                  "%9.2fx\n",
+                  cfg.format, stats.sparsity(), streams,
+                  measured.requests_per_sec, measured.ms_per_request,
+                  measured.p50_ms, measured.p95_ms, measured.p99_ms, gflops,
+                  speedup);
 
       bench::BenchRecord record;
       record.name = "serving/bert-mini/b" + std::to_string(batch);
@@ -226,8 +344,59 @@ int main(int argc, char** argv) {
       record.streams = streams;
       record.gflops = gflops;
       record.sparsity = stats.sparsity();
+      record.p50_ms = measured.p50_ms;
+      record.p95_ms = measured.p95_ms;
+      record.p99_ms = measured.p99_ms;
       json.add(record);
+
+      // Overload-measure each format at its widest stream count.
+      if (streams == stream_counts.back()) {
+        overload_points.push_back(
+            {cfg, streams, measured.ms_per_request, stats.sparsity()});
+      }
     }
+  }
+
+  // ------------------------------------------- runtime overload section
+  // Open-loop arrivals through the fault-tolerant ServingRuntime at
+  // ~1.3x the closed-loop service rate: the shed/expire counts and the
+  // OK-latency tail quantify graceful degradation under saturation.
+  std::printf("\nserving-runtime overload (arrivals at 2x capacity, "
+              "deadline 3x ms/req, queue=4)\n");
+  std::printf("%-8s %-8s %12s %8s %8s %8s %9s %9s\n", "format", "streams",
+              "ok req/s", "p50", "p95", "p99", "timeouts", "rejected");
+  for (const OverloadPoint& point : overload_points) {
+    ExecContext ctx;
+    ctx.threads =
+        static_cast<int>(std::max<std::size_t>(1, budget / point.streams));
+    pack_model(model, point.cfg.format, point.cfg.sparsity, rows, ctx);
+    const OverloadMeasured overload = serve_overloaded(
+        model, dataset, batch, point.streams, point.closed_loop_ms, secs);
+    model.clear_packed_weights();
+
+    std::printf("%-8s %-8zu %12.1f %8.3f %8.3f %8.3f %9llu %9llu\n",
+                point.cfg.format, point.streams,
+                overload.latency.requests_per_sec, overload.latency.p50_ms,
+                overload.latency.p95_ms, overload.latency.p99_ms,
+                static_cast<unsigned long long>(overload.timeouts),
+                static_cast<unsigned long long>(overload.rejected));
+
+    bench::BenchRecord record;
+    record.name = "serving-runtime/bert-mini/b" + std::to_string(batch);
+    record.format = point.cfg.format;
+    record.m = rows;
+    record.k = config.dim;
+    record.n = config.ffn_dim;
+    record.ns_per_iter = overload.latency.p50_ms * 1e6;
+    record.requests_per_sec = overload.latency.requests_per_sec;
+    record.streams = point.streams;
+    record.sparsity = point.sparsity;
+    record.p50_ms = overload.latency.p50_ms;
+    record.p95_ms = overload.latency.p95_ms;
+    record.p99_ms = overload.latency.p99_ms;
+    record.timeouts = static_cast<std::int64_t>(overload.timeouts);
+    record.rejected = static_cast<std::int64_t>(overload.rejected);
+    json.add(record);
   }
 
   if (!json_path.empty() && !json.empty()) json.write(json_path);

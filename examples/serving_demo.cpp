@@ -1,29 +1,36 @@
-// Serving demo: the full production flow through the model-level
-// execution API.
+// Serving demo: the full production flow through the fault-tolerant
+// serving runtime.
 //
 //   train side:  pre-train BERT-mini -> TW-prune -> fine-tune ->
 //                export ONE deployment artifact (packed tiles)
-//   serve side:  load the artifact into execution backends, build the
-//                ExecGraph once, and serve requests through the
-//                ExecScheduler — independent layers overlapping across
-//                streams, very wide outputs column-sharded — with the
-//                single-stream fallback as the bit-identical reference.
+//   serve side:  stand up a ServingRuntime and push mixed traffic at
+//                it — interactive/normal/batch evaluation requests
+//                served from the artifact, one request against a
+//                deliberately CORRUPT artifact copy, and one request
+//                whose deadline has already passed — then verify every
+//                request reached exactly the terminal status it should:
+//                OK (bit-identical across streams), FAILED (corrupt
+//                artifact surfaced as a request error, worker alive),
+//                TIMEOUT (deadline enforced without execution).
 //
-// Exits nonzero if the scheduled serving path diverges from the
-// single-stream fallback (they must be the same bits) or the artifact
-// round trip loses accuracy.
+// Exits nonzero unless every request lands on its expected terminal
+// status, the OK metrics agree with the train-side pruned accuracy,
+// and the runtime's conservation identity holds after shutdown.
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include <unistd.h>
 
-#include "exec/scheduler.hpp"
+#include "exec/exec_context.hpp"
 #include "exec/validate.hpp"
+#include "io/serialize.hpp"
 #include "nn/prune_experiment.hpp"
-#include "util/stopwatch.hpp"
+#include "serve/serving_runtime.hpp"
 
 using namespace tilesparse;
 
@@ -31,10 +38,10 @@ namespace {
 
 class ScopedArtifact {
  public:
-  ScopedArtifact() {
+  explicit ScopedArtifact(const char* stem) {
     const char* tmpdir = std::getenv("TMPDIR");
-    path_ = std::string(tmpdir && *tmpdir ? tmpdir : "/tmp") +
-            "/tilesparse_serving_" + std::to_string(getpid()) + ".bin";
+    path_ = std::string(tmpdir && *tmpdir ? tmpdir : "/tmp") + "/" + stem +
+            "_" + std::to_string(getpid()) + ".bin";
   }
   ~ScopedArtifact() { std::remove(path_.c_str()); }
   const std::string& path() const { return path_; }
@@ -43,10 +50,30 @@ class ScopedArtifact {
   std::string path_;
 };
 
+/// Writes a truncated copy of `src` at `dst`: a mid-stream corruption
+/// the artifact reader must reject, and the runtime must absorb.
+bool write_corrupt_copy(const std::string& src, const std::string& dst) {
+  std::ifstream in(src, std::ios::binary);
+  if (!in) return false;
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  if (bytes.size() < 32) return false;
+  std::ofstream out(dst, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  return out.good();
+}
+
+MatrixF metric_matrix(double metric) {
+  MatrixF m(1, 1);
+  m(0, 0) = static_cast<float>(metric);
+  return m;
+}
+
 }  // namespace
 
 int main() {
-  const ScopedArtifact artifact;
+  const ScopedArtifact artifact("tilesparse_serving");
+  const ScopedArtifact corrupt("tilesparse_serving_corrupt");
 
   std::printf("== train side ==\n");
   auto task = make_bert_cls_task(/*pretrain_steps=*/40);
@@ -63,54 +90,153 @@ int main() {
 
   export_packed_weights(*task, "tw", &pruned.patterns, artifact.path());
   std::printf("artifact:                %s\n", artifact.path().c_str());
+  if (!write_corrupt_copy(artifact.path(), corrupt.path())) {
+    std::printf("FAIL: could not stage the corrupt artifact copy\n");
+    return 1;
+  }
 
   std::printf("== serve side ==\n");
-  // Static verification before serving a single request: def-use,
-  // hazard-edge completeness, acyclicity, shapes, shard plans.  A
-  // malformed plan fails fast here with the verifier's diagnostics
-  // instead of serving wrong bits.
-  if (ExecGraph* graph = task->build_exec_graph()) {
-    const auto findings = validate_graph(*graph);
-    for (const GraphFinding& finding : findings)
-      std::printf("  %s\n", to_string(finding).c_str());
-    for (const GraphFinding& finding : findings) {
-      if (finding.severity == FindingSeverity::kError) {
-        std::printf("FAIL: execution graph rejected by the verifier\n");
-        return 1;
+  // One runtime, one worker (the task model is shared mutable state),
+  // two streams on the primary path, retries allowed so the corrupt
+  // artifact also demonstrates the degraded retry before FAILING.
+  serve::ServingOptions options;
+  options.workers = 1;
+  options.streams = 2;
+  options.queue_capacity = 16;
+  options.max_attempts = 2;
+  options.retry_backoff = std::chrono::microseconds(200);
+  serve::ServingRuntime runtime(options);
+
+  // The evaluation request: load the artifact into the task's layers
+  // and evaluate through the worker's scheduler.  Idempotent, so safe
+  // to retry.
+  const auto evaluate_artifact = [&task,
+                                  &artifact](serve::WorkerContext& ctx) {
+    task->set_exec_scheduler(&ctx.scheduler);
+    double metric = -1.0;
+    try {
+      metric = evaluate_from_artifact(*task, artifact.path());
+    } catch (...) {
+      task->set_exec_scheduler(nullptr);
+      throw;
+    }
+    task->set_exec_scheduler(nullptr);
+    return metric_matrix(metric);
+  };
+
+  struct Submitted {
+    const char* label;
+    serve::RequestHandle handle;
+    serve::RequestStatus expect;
+  };
+  std::vector<Submitted> traffic;
+
+  // Mixed-priority evaluation requests (all must serve OK).
+  const serve::Priority priorities[] = {serve::Priority::kInteractive,
+                                        serve::Priority::kNormal,
+                                        serve::Priority::kBatch};
+  const char* labels[] = {"eval-interactive", "eval-normal", "eval-batch"};
+  for (int i = 0; i < 3; ++i) {
+    serve::Request request;
+    request.priority = priorities[i];
+    request.tag = labels[i];
+    request.work = evaluate_artifact;
+    traffic.push_back({labels[i], runtime.submit(std::move(request)),
+                       serve::RequestStatus::kOk});
+  }
+
+  // A request served from the corrupt artifact copy: the load failure
+  // must surface as THIS request's error, not kill the worker.
+  {
+    serve::Request request;
+    request.priority = serve::Priority::kNormal;
+    request.tag = "corrupt-artifact";
+    request.work = [&corrupt](serve::WorkerContext&) {
+      const auto weights = load_model_weights(corrupt.path());
+      return metric_matrix(static_cast<double>(weights.size()));
+    };
+    traffic.push_back({"corrupt-artifact", runtime.submit(std::move(request)),
+                       serve::RequestStatus::kFailed});
+  }
+
+  // A request whose deadline has already passed: TIMEOUT, no execution.
+  {
+    serve::Request request;
+    request.priority = serve::Priority::kInteractive;
+    request.tag = "missed-deadline";
+    request.deadline = serve::Clock::now() - std::chrono::milliseconds(1);
+    request.work = evaluate_artifact;
+    traffic.push_back({"missed-deadline", runtime.submit(std::move(request)),
+                       serve::RequestStatus::kTimeout});
+  }
+
+  // One more healthy request AFTER the faulty ones: proves the worker
+  // keeps serving.
+  {
+    serve::Request request;
+    request.priority = serve::Priority::kNormal;
+    request.tag = "eval-after-faults";
+    request.work = evaluate_artifact;
+    traffic.push_back({"eval-after-faults", runtime.submit(std::move(request)),
+                       serve::RequestStatus::kOk});
+  }
+
+  runtime.shutdown(serve::ServingRuntime::Shutdown::kDrain);
+
+  bool ok = true;
+  double served_metric = -1.0;
+  for (const Submitted& entry : traffic) {
+    const serve::Response& response = entry.handle->response();
+    std::printf("%-18s -> %-8s", entry.label,
+                serve::status_name(response.status));
+    if (response.status == serve::RequestStatus::kOk) {
+      std::printf("  metric %.3f  (attempts %u%s)\n",
+                  static_cast<double>(response.result(0, 0)),
+                  response.attempts, response.degraded ? ", degraded" : "");
+    } else {
+      std::printf("  attempts %u  error: %s\n", response.attempts,
+                  response.error.c_str());
+    }
+    if (response.status != entry.expect) {
+      std::printf("FAIL: %s expected %s\n", entry.label,
+                  serve::status_name(entry.expect));
+      ok = false;
+      continue;
+    }
+    if (response.status == serve::RequestStatus::kOk) {
+      const double metric = static_cast<double>(response.result(0, 0));
+      if (served_metric < 0.0) served_metric = metric;
+      if (metric != served_metric) {
+        std::printf("FAIL: OK responses disagree (%.6f vs %.6f)\n", metric,
+                    served_metric);
+        ok = false;
       }
     }
-    std::printf("graph verified:          %zu nodes, %zu finding(s)\n",
-                graph->node_count(), findings.size());
   }
 
-  // Single-stream fallback: the reference the scheduled path must match.
-  SchedulerOptions single;
-  single.streams = 1;
-  Stopwatch sw_single;
-  const double served_single =
-      evaluate_from_artifact(*task, artifact.path(), ExecContext{}, single);
-  const double ms_single = sw_single.milliseconds();
-
-  SchedulerOptions overlapped;  // streams = pool size, wide-N sharding on
-  Stopwatch sw_overlap;
-  const double served_overlap =
-      evaluate_from_artifact(*task, artifact.path(), ExecContext{}, overlapped);
-  const double ms_overlap = sw_overlap.milliseconds();
-
-  std::printf("served (1 stream):       %.3f   (%.0f ms)\n", served_single,
-              ms_single);
-  std::printf("served (overlapped):     %.3f   (%.0f ms)\n", served_overlap,
-              ms_overlap);
-
-  if (served_overlap != served_single) {
-    std::printf("FAIL: scheduled serving diverged from the single-stream "
-                "fallback\n");
-    return 1;
+  if (ok && std::fabs(served_metric - pruned.metric) > 0.05) {
+    std::printf("FAIL: artifact round trip lost accuracy (%.3f vs %.3f)\n",
+                served_metric, pruned.metric);
+    ok = false;
   }
-  if (std::fabs(served_single - pruned.metric) > 0.05) {
-    std::printf("FAIL: artifact round trip lost accuracy\n");
-    return 1;
+
+  const auto stats = runtime.stats();
+  std::printf("stats: submitted=%llu ok=%llu failed=%llu timeout=%llu "
+              "rejected=%llu retries=%llu\n",
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.ok),
+              static_cast<unsigned long long>(stats.failed),
+              static_cast<unsigned long long>(stats.timeout),
+              static_cast<unsigned long long>(stats.rejected_full +
+                                              stats.rejected_closed +
+                                              stats.evicted),
+              static_cast<unsigned long long>(stats.retries));
+  if (!stats.conserved()) {
+    std::printf("FAIL: conservation identity violated\n");
+    ok = false;
   }
-  std::printf("OK: scheduled == fallback, artifact serves the pruned model\n");
+
+  if (!ok) return 1;
+  std::printf("OK: every request reached its expected terminal status\n");
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "tensor/ops.hpp"
+#include "util/fault_injection.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -60,6 +61,10 @@ void PackedWeight::save(std::ostream&) const {
 
 void PackedWeight::matmul(const ExecContext& ctx, const MatrixF& a,
                           MatrixF& c) const {
+  // Kernel-entry fault site: the one gate every GEMM kernel family runs
+  // behind, and still outside the OpenMP regions so an injected
+  // exception unwinds safely (see util/fault_injection.hpp).
+  fault_point(FaultSite::kKernelEntry);
   if (a.cols() != k_) {
     throw std::invalid_argument("PackedWeight::matmul: A has " +
                                 std::to_string(a.cols()) +

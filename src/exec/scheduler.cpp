@@ -9,6 +9,7 @@
 
 #include "exec/validate.hpp"
 #include "tensor/ops.hpp"
+#include "util/fault_injection.hpp"
 #include "util/guards.hpp"
 
 namespace tilesparse {
@@ -156,7 +157,11 @@ void ExecScheduler::prepare(ExecGraph& graph) {
 }
 
 void ExecScheduler::run_serial(ExecGraph& graph) {
-  for (ExecGraph::NodeId id : graph.topo_order()) graph.execute_node(id);
+  for (ExecGraph::NodeId id : graph.topo_order()) {
+    if (cancel_) cancel_->throw_if_expired();
+    fault_point(FaultSite::kSchedulerDispatch);
+    graph.execute_node(id);
+  }
   stats_ = RunStats{};
   stats_.nodes = graph.node_count();
   stats_.tasks = graph.node_count();
@@ -183,6 +188,12 @@ void ExecScheduler::run(ExecGraph& graph) {
 }
 
 void ExecScheduler::execute_task(ExecGraph& graph, const Task& task) {
+  // Node-boundary cancellation point + injected stream faults: both
+  // throw here, inside the stream loop's try, so an expired deadline or
+  // an injected fault aborts the run through the same first-exception
+  // path a real node failure takes.
+  if (cancel_) cancel_->throw_if_expired();
+  fault_point(FaultSite::kSchedulerDispatch);
   if (task.shard == -1) {
     graph.execute_node(task.node);
     return;

@@ -35,6 +35,7 @@
 
 #include "exec/calibration.hpp"
 #include "exec/graph.hpp"
+#include "util/cancellation.hpp"
 #include "util/threadpool.hpp"
 
 namespace tilesparse {
@@ -85,6 +86,16 @@ class ExecScheduler {
 
   const SchedulerOptions& options() const noexcept { return options_; }
 
+  /// Installs a cooperative cancellation token (non-owning; null
+  /// detaches).  run() checks it at every node boundary — between
+  /// kernels, where no state is half-written — and abandons the rest of
+  /// the graph by throwing CancelledError once the token is cancelled
+  /// or past its deadline.  A cancelled run leaves the graph reusable:
+  /// the next run() re-executes every node.  The serving runtime arms
+  /// one token per worker with the active request's deadline.
+  void set_cancel_token(const CancelToken* token) noexcept { cancel_ = token; }
+  const CancelToken* cancel_token() const noexcept { return cancel_; }
+
   /// Streams the next run will use (options resolved against the pool).
   std::size_t streams() const noexcept;
 
@@ -123,6 +134,7 @@ class ExecScheduler {
 
   SchedulerOptions options_;
   ThreadPool* pool_;
+  const CancelToken* cancel_ = nullptr;
   // Plan cache: shard slices repack weight columns and the task DAG
   // expansion allocates, so both are built once per (graph build id,
   // node count, stream count) — the serving hot path re-runs the same

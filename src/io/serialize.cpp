@@ -10,6 +10,7 @@
 
 #include "exec/backend_registry.hpp"
 #include "io/wire.hpp"
+#include "util/fault_injection.hpp"
 
 namespace tilesparse {
 namespace {
@@ -184,6 +185,10 @@ void write_packed_weight(std::ostream& out, const PackedWeight& weight) {
 }
 
 std::unique_ptr<PackedWeight> read_packed_weight(std::istream& in) {
+  // io.read fault site: an armed injection here models a corrupt or
+  // unreadable artifact, and must surface as a request error (the same
+  // runtime_error contract real wire-format corruption follows).
+  fault_point(FaultSite::kIoRead);
   // The registry owns the format-name dispatch; this is the io-side
   // spelling of the same operation.
   return load_packed_weight(in);
@@ -206,6 +211,7 @@ void write_model_weights(
 }
 
 std::vector<NamedWeight> read_model_weights(std::istream& in) {
+  fault_point(FaultSite::kIoRead);
   if (read_pod<std::uint32_t>(in) != wire::kMagicModelWeights)
     throw std::runtime_error(
         "tilesparse::io: not a model-weights artifact (bad magic)");

@@ -1,0 +1,157 @@
+#pragma once
+// Request/response types for the fault-tolerant serving runtime.
+//
+// A Request is one unit of admitted traffic: a priority class, an
+// absolute deadline, and the work itself — a callable that runs on a
+// serving worker with that worker's ExecScheduler (deadline-armed
+// cancel token installed) and returns the response payload.  The
+// runtime guarantees every submitted request reaches EXACTLY ONE
+// terminal status:
+//
+//   kOk       — the work returned a result,
+//   kRejected — shed without execution: admission queue full, evicted
+//               for a higher-priority arrival, or runtime shut down,
+//   kTimeout  — deadline passed while queued, mid-graph (cooperative
+//               cancellation at node boundaries), or between retries,
+//   kFailed   — the work threw on every permitted attempt; the error
+//               text of the last attempt is preserved.
+//
+// Completion is observed through a shared PendingRequest handle
+// (wait/wait_for/response); the runtime completes each handle exactly
+// once, enforced by TS_CHECK.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "tensor/matrix.hpp"
+#include "util/guards.hpp"
+
+namespace tilesparse::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// Priority classes, highest value most urgent.  The admission queue
+/// serves strictly by class (FIFO within a class), and under overload a
+/// full queue may shed its newest strictly-lower-priority entry to
+/// admit a more urgent arrival.
+enum class Priority : int { kBatch = 0, kNormal = 1, kInteractive = 2 };
+inline constexpr std::size_t kPriorityClasses = 3;
+
+inline const char* priority_name(Priority priority) noexcept {
+  switch (priority) {
+    case Priority::kBatch: return "batch";
+    case Priority::kNormal: return "normal";
+    case Priority::kInteractive: return "interactive";
+  }
+  return "?";
+}
+
+enum class RequestStatus : int {
+  kPending = 0,  ///< not yet terminal (never visible in a Response)
+  kOk,
+  kRejected,
+  kTimeout,
+  kFailed,
+};
+
+inline const char* status_name(RequestStatus status) noexcept {
+  switch (status) {
+    case RequestStatus::kPending: return "PENDING";
+    case RequestStatus::kOk: return "OK";
+    case RequestStatus::kRejected: return "REJECTED";
+    case RequestStatus::kTimeout: return "TIMEOUT";
+    case RequestStatus::kFailed: return "FAILED";
+  }
+  return "?";
+}
+
+struct WorkerContext;  // serve/serving_runtime.hpp
+
+struct Request {
+  Priority priority = Priority::kNormal;
+  /// Absolute deadline; Clock::time_point::max() defers to the
+  /// runtime's default_deadline option.
+  Clock::time_point deadline = Clock::time_point::max();
+  /// The work.  Runs on a serving worker; may be retried after a
+  /// transient failure, so it must be idempotent.  Throwing reports
+  /// failure; CancelledError (thrown by the scheduler's cancellation
+  /// points) reports a deadline overrun.
+  std::function<MatrixF(WorkerContext&)> work;
+  /// Free-form tag carried into the response for diagnostics.
+  std::string tag;
+};
+
+struct Response {
+  RequestStatus status = RequestStatus::kPending;
+  MatrixF result;     ///< valid iff status == kOk
+  std::string error;  ///< last error text for kRejected/kTimeout/kFailed
+  std::string tag;
+  std::uint32_t attempts = 0;  ///< execution attempts consumed
+  bool degraded = false;  ///< final attempt ran on the serial fallback path
+  Clock::duration queue_wait{};    ///< admission -> first pop
+  Clock::duration service_time{};  ///< first pop -> terminal status
+};
+
+/// Shared completion state for one submitted request.  The runtime is
+/// the single completer; any number of threads may wait.
+class PendingRequest {
+ public:
+  explicit PendingRequest(std::uint64_t id) : id_(id) {}
+
+  std::uint64_t id() const noexcept { return id_; }
+
+  /// Blocks until the request is terminal, then returns the response.
+  const Response& wait() const {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return done_; });
+    return response_;
+  }
+
+  /// Bounded wait; false on timeout (request still in flight).
+  bool wait_for(Clock::duration timeout) const {
+    std::unique_lock lock(mutex_);
+    return cv_.wait_for(lock, timeout, [this] { return done_; });
+  }
+
+  bool done() const {
+    std::lock_guard lock(mutex_);
+    return done_;
+  }
+
+  /// The terminal response; TS_CHECK-fails if not done yet.
+  const Response& response() const {
+    std::lock_guard lock(mutex_);
+    TS_CHECK(done_, "PendingRequest::response: request not terminal yet");
+    return response_;
+  }
+
+  /// Completes the request (runtime only).  Exactly-once is an
+  /// invariant: a second completion is a library bug and TS_CHECK-throws.
+  void complete(Response response) {
+    {
+      std::lock_guard lock(mutex_);
+      TS_CHECK(!done_, "PendingRequest: completed twice");
+      TS_CHECK(response.status != RequestStatus::kPending,
+               "PendingRequest: completed with non-terminal status");
+      response_ = std::move(response);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  const std::uint64_t id_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  bool done_ = false;
+  Response response_;
+};
+
+using RequestHandle = std::shared_ptr<PendingRequest>;
+
+}  // namespace tilesparse::serve

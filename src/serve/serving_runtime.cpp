@@ -1,0 +1,308 @@
+#include "serve/serving_runtime.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "exec/validate.hpp"
+#include "util/guards.hpp"
+
+namespace tilesparse::serve {
+
+struct ServingRuntime::Counters {
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> rejected_full{0};
+  std::atomic<std::uint64_t> rejected_closed{0};
+  std::atomic<std::uint64_t> evicted{0};
+  std::atomic<std::uint64_t> timeout{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> degraded_ok{0};
+};
+
+ServingRuntime::ServingRuntime(ServingOptions options)
+    : options_(options), counters_(std::make_unique<Counters>()) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.streams == 0) options_.streams = 1;
+  if (options_.max_attempts == 0) options_.max_attempts = 1;
+  queue_ = std::make_unique<AdmissionQueue<std::shared_ptr<Item>>>(
+      options_.queue_capacity);
+
+  workers_.reserve(options_.workers);
+  for (std::size_t w = 0; w < options_.workers; ++w) {
+    auto worker = std::make_unique<Worker>();
+    SchedulerOptions primary = options_.scheduler;
+    primary.streams = options_.streams;
+    if (options_.streams > 1) {
+      // Private pool per worker: streams - 1 pool threads + the worker
+      // itself give exactly `streams` concurrent streams, and one
+      // worker's load never steals another's threads.
+      worker->pool = std::make_unique<ThreadPool>(options_.streams - 1);
+      worker->primary =
+          std::make_unique<ExecScheduler>(primary, worker->pool.get());
+    } else {
+      worker->primary = std::make_unique<ExecScheduler>(primary);
+    }
+    // The degraded path: serial, unsharded, and with validation off —
+    // after the primary path rejects a graph (validation) or faults
+    // (stream death), this is the smallest machinery that can still
+    // serve the request.
+    SchedulerOptions fallback;
+    fallback.streams = 1;
+    fallback.shard_wide_n = false;
+    fallback.validate = false;
+    worker->fallback = std::make_unique<ExecScheduler>(fallback);
+    worker->primary->set_cancel_token(&worker->cancel);
+    worker->fallback->set_cancel_token(&worker->cancel);
+    workers_.push_back(std::move(worker));
+  }
+  // Threads last: workers touch only fully-constructed state.
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    workers_[w]->thread = std::thread([this, w] { worker_loop(w); });
+  }
+}
+
+ServingRuntime::~ServingRuntime() { shutdown(Shutdown::kDrain); }
+
+RequestHandle ServingRuntime::submit(Request request) {
+  if (!request.work) {
+    throw std::invalid_argument("ServingRuntime::submit: null work callable");
+  }
+  auto handle = std::make_shared<PendingRequest>(
+      next_id_.fetch_add(1, std::memory_order_relaxed));
+  counters_->submitted.fetch_add(1, std::memory_order_relaxed);
+
+  auto item = std::make_shared<Item>();
+  item->enqueued = Clock::now();
+  item->deadline = request.deadline;
+  if (item->deadline == Clock::time_point::max() &&
+      options_.default_deadline != Clock::duration::max()) {
+    item->deadline = item->enqueued + options_.default_deadline;
+  }
+  const Priority priority = request.priority;
+  item->request = std::move(request);
+  item->handle = handle;
+
+  std::shared_ptr<Item> shed;
+  const PushOutcome outcome =
+      queue_->push(item, priority, options_.evict_lower_priority ? &shed : nullptr);
+  switch (outcome) {
+    case PushOutcome::kAdmitted:
+      counters_->admitted.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case PushOutcome::kAdmittedAfterEvict: {
+      counters_->admitted.fetch_add(1, std::memory_order_relaxed);
+      TS_CHECK(shed != nullptr, "ServingRuntime: evict outcome without victim");
+      Response response;
+      response.status = RequestStatus::kRejected;
+      response.error = "shed from admission queue for a higher-priority arrival";
+      counters_->evicted.fetch_add(1, std::memory_order_relaxed);
+      response.tag = shed->request.tag;
+      response.queue_wait = Clock::now() - shed->enqueued;
+      shed->handle->complete(std::move(response));
+      break;
+    }
+    case PushOutcome::kRejectedFull: {
+      counters_->rejected_full.fetch_add(1, std::memory_order_relaxed);
+      Response response;
+      response.status = RequestStatus::kRejected;
+      response.error = "admission queue full";
+      response.tag = item->request.tag;
+      handle->complete(std::move(response));
+      break;
+    }
+    case PushOutcome::kRejectedClosed: {
+      counters_->rejected_closed.fetch_add(1, std::memory_order_relaxed);
+      Response response;
+      response.status = RequestStatus::kRejected;
+      response.error = "runtime shutting down";
+      response.tag = item->request.tag;
+      handle->complete(std::move(response));
+      break;
+    }
+  }
+  return handle;
+}
+
+void ServingRuntime::complete(Item& item, Response response) {
+  // Admission-side rejections (full / closed / evicted) are counted and
+  // completed inline in submit(); this path records worker-side
+  // terminal statuses only.
+  response.tag = item.request.tag;
+  switch (response.status) {
+    case RequestStatus::kOk:
+      counters_->ok.fetch_add(1, std::memory_order_relaxed);
+      if (response.degraded)
+        counters_->degraded_ok.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestStatus::kTimeout:
+      counters_->timeout.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestStatus::kFailed:
+      counters_->failed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestStatus::kRejected:
+    case RequestStatus::kPending:
+      TS_CHECK(false, "ServingRuntime: unexpected worker-side status");
+      break;
+  }
+  item.handle->complete(std::move(response));
+}
+
+bool ServingRuntime::backoff_wait(const Worker& worker, Clock::duration wait,
+                                  Clock::time_point deadline) {
+  const Clock::time_point wake = Clock::now() + wait;
+  while (true) {
+    const Clock::time_point now = Clock::now();
+    if (now >= wake) return true;
+    if (now >= deadline || worker.cancel.cancel_requested()) return false;
+    // Short slices keep the wait responsive to deadlines and to
+    // shutdown(kCancel) without a dedicated per-worker condition
+    // variable.
+    const Clock::duration slice = std::min<Clock::duration>(
+        std::chrono::microseconds(500), wake - now);
+    std::this_thread::sleep_for(slice);
+  }
+}
+
+void ServingRuntime::serve_one(Worker& worker, std::size_t worker_id,
+                               std::shared_ptr<Item> item) {
+  const Clock::time_point popped = Clock::now();
+  Response response;
+  response.queue_wait = popped - item->enqueued;
+
+  if (popped >= item->deadline) {
+    response.status = RequestStatus::kTimeout;
+    response.error = "deadline expired in admission queue";
+    complete(*item, std::move(response));
+    return;
+  }
+
+  auto backoff = std::chrono::duration_cast<Clock::duration>(
+      options_.retry_backoff);
+  // Once streams == 1 the primary path IS serial; "degraded" then only
+  // ever means the validation-off fallback engaged.
+  bool degraded = false;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    response.attempts = attempt + 1;
+    response.degraded = degraded;
+    if (attempt > 0) counters_->retries.fetch_add(1, std::memory_order_relaxed);
+    worker.cancel.reset(item->deadline);
+    ExecScheduler& scheduler =
+        degraded ? *worker.fallback : *worker.primary;
+    WorkerContext context{scheduler, worker.cancel, worker_id, attempt,
+                          degraded};
+    bool validation_failure = false;
+    try {
+      response.result = item->request.work(context);
+      response.status = RequestStatus::kOk;
+      break;
+    } catch (const CancelledError& e) {
+      // Deadline overrun (or shutdown cancel) observed at a node
+      // boundary: terminal, never retried — the deadline will not
+      // come back.
+      response.status = RequestStatus::kTimeout;
+      response.error = e.what();
+      break;
+    } catch (const GraphValidationError& e) {
+      response.status = RequestStatus::kFailed;
+      response.error = e.what();
+      validation_failure = true;
+    } catch (const std::exception& e) {
+      response.status = RequestStatus::kFailed;
+      response.error = e.what();
+    } catch (...) {
+      response.status = RequestStatus::kFailed;
+      response.error = "unknown exception from request work";
+    }
+
+    if (attempt + 1 >= options_.max_attempts) break;  // attempts exhausted
+    // Every retry runs degraded: after a fault on the overlapped path
+    // (a stream died mid-graph) or a rejected graph, the serial
+    // fallback is the robust choice; a fault on the fallback itself
+    // (transient, e.g. injected) retries there too.
+    degraded = true;
+    if (!validation_failure) {
+      // Transient-failure backoff; validation failures skip it (the
+      // fallback either serves the graph or never will).
+      if (!backoff_wait(worker, backoff, item->deadline)) {
+        if (Clock::now() >= item->deadline) {
+          response.status = RequestStatus::kTimeout;
+          response.error = "deadline expired during retry backoff";
+          break;
+        }
+        // Shutdown cancel: report the last real failure as terminal.
+        break;
+      }
+      backoff = std::chrono::duration_cast<Clock::duration>(
+          backoff * options_.backoff_multiplier);
+    }
+    if (Clock::now() >= item->deadline) {
+      response.status = RequestStatus::kTimeout;
+      response.error = "deadline expired before retry";
+      break;
+    }
+  }
+
+  response.service_time = Clock::now() - popped;
+  complete(*item, std::move(response));
+}
+
+void ServingRuntime::worker_loop(std::size_t worker_id) {
+  Worker& worker = *workers_[worker_id];
+  std::shared_ptr<Item> item;
+  while (queue_->pop(item)) {
+    serve_one(worker, worker_id, std::move(item));
+    item.reset();
+  }
+}
+
+void ServingRuntime::shutdown(Shutdown mode) {
+  {
+    std::lock_guard lock(shutdown_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  if (mode == Shutdown::kCancel) {
+    // Backlog first (so workers cannot pop any of it), then in-flight.
+    std::vector<std::shared_ptr<Item>> backlog = queue_->close_and_drain();
+    for (std::shared_ptr<Item>& item : backlog) {
+      Response response;
+      response.status = RequestStatus::kTimeout;
+      response.error = "cancelled: runtime shutdown";
+      response.queue_wait = Clock::now() - item->enqueued;
+      complete(*item, std::move(response));
+    }
+    for (auto& worker : workers_) worker->cancel.cancel();
+  } else {
+    queue_->close();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  for (auto& worker : workers_) {
+    if (worker->pool) worker->pool->shutdown();
+  }
+}
+
+ServingRuntime::Stats ServingRuntime::stats() const {
+  Stats stats;
+  stats.submitted = counters_->submitted.load(std::memory_order_relaxed);
+  stats.admitted = counters_->admitted.load(std::memory_order_relaxed);
+  stats.ok = counters_->ok.load(std::memory_order_relaxed);
+  stats.rejected_full =
+      counters_->rejected_full.load(std::memory_order_relaxed);
+  stats.rejected_closed =
+      counters_->rejected_closed.load(std::memory_order_relaxed);
+  stats.evicted = counters_->evicted.load(std::memory_order_relaxed);
+  stats.timeout = counters_->timeout.load(std::memory_order_relaxed);
+  stats.failed = counters_->failed.load(std::memory_order_relaxed);
+  stats.retries = counters_->retries.load(std::memory_order_relaxed);
+  stats.degraded_ok = counters_->degraded_ok.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace tilesparse::serve

@@ -1,0 +1,179 @@
+#pragma once
+// ServingRuntime — the fault-tolerant request front end above
+// ExecScheduler.
+//
+// Nothing above the scheduler used to absorb traffic or isolate
+// failures: one bad request, corrupt artifact, or hung stream took the
+// process with it.  ServingRuntime is that missing layer.  It owns a
+// bounded AdmissionQueue and a set of serving workers, each with its
+// own ExecScheduler pair and deadline-armed CancelToken, and it
+// guarantees that every submitted request reaches exactly one terminal
+// status (see serve/request.hpp) no matter what fails underneath:
+//
+//  * Admission: push never blocks.  A full queue sheds (REJECTED) —
+//    optionally evicting a strictly lower-priority entry to admit a
+//    more urgent one (the evicted entry is itself completed REJECTED).
+//  * Deadlines: checked when a worker pops (expired in queue ->
+//    TIMEOUT without execution), at every graph node boundary during
+//    execution (cooperative cancellation -> TIMEOUT mid-run), and
+//    across retry backoff waits.
+//  * Failure isolation: an exception from the work — a node throwing
+//    mid-graph, an artifact that fails to parse, an injected fault —
+//    is captured per-request (FAILED); the worker and its schedulers
+//    keep serving subsequent requests.
+//  * Graceful degradation: transient failures retry with bounded
+//    exponential backoff, and after the overlapped multi-stream path
+//    faults (or its graph fails validation) the retry runs on the
+//    streams=1 serial fallback scheduler — slower, but with the
+//    smallest possible machinery still in the loop.
+//  * Teardown: shutdown(kDrain) serves the backlog to completion;
+//    shutdown(kCancel) completes the backlog as TIMEOUT and cancels
+//    in-flight work at the next node boundary.  Either way the
+//    conservation identity holds once shutdown returns:
+//        admitted == OK + TIMEOUT + FAILED + evicted.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/scheduler.hpp"
+#include "serve/admission_queue.hpp"
+#include "serve/request.hpp"
+#include "util/cancellation.hpp"
+#include "util/threadpool.hpp"
+
+namespace tilesparse::serve {
+
+struct ServingOptions {
+  /// Serving workers; each owns a private ThreadPool sized for
+  /// `streams` and serves one request at a time.
+  std::size_t workers = 2;
+  /// Admission queue capacity; arrivals beyond it are shed, never
+  /// queued unboundedly and never blocking the submitter.
+  std::size_t queue_capacity = 64;
+  /// Scheduler streams per worker on the primary path; 1 serves every
+  /// graph serially.
+  std::size_t streams = 2;
+  /// Total execution attempts per request (first try + retries).
+  std::uint32_t max_attempts = 2;
+  /// Backoff before the first retry; grows by backoff_multiplier per
+  /// further retry.  The wait is deadline- and shutdown-aware.
+  std::chrono::microseconds retry_backoff{200};
+  double backoff_multiplier = 2.0;
+  /// Deadline applied to requests that carry none;
+  /// Clock::duration::max() = unlimited.
+  Clock::duration default_deadline = Clock::duration::max();
+  /// Allow a full queue to admit a higher-priority arrival by shedding
+  /// its newest strictly-lower-priority entry.
+  bool evict_lower_priority = true;
+  /// Base options for each worker's primary scheduler (streams is
+  /// overridden by `streams` above).
+  SchedulerOptions scheduler;
+};
+
+/// What a Request::work callable sees while running on a worker.
+struct WorkerContext {
+  /// The scheduler to run graphs through.  Its cancel token is armed
+  /// with the request deadline, so graph runs time out cooperatively.
+  ExecScheduler& scheduler;
+  /// The worker's cancel token, for work that loops outside graph runs
+  /// (check cancel.expired() / throw_if_expired() at safe points).
+  const CancelToken& cancel;
+  std::size_t worker_id = 0;
+  std::uint32_t attempt = 0;  ///< 0-based attempt number
+  /// True on the serial fallback path (after an overlapped-path fault
+  /// or validation failure, or always once streams == 1 retries).
+  bool degraded = false;
+};
+
+class ServingRuntime {
+ public:
+  explicit ServingRuntime(ServingOptions options = {});
+  /// Drains outstanding work (shutdown(kDrain)) before returning.
+  ~ServingRuntime();
+
+  ServingRuntime(const ServingRuntime&) = delete;
+  ServingRuntime& operator=(const ServingRuntime&) = delete;
+
+  /// Submits a request.  Never blocks: the returned handle is already
+  /// terminal (REJECTED) when the queue is full and nothing lower
+  /// priority could be shed, or when the runtime is shutting down.
+  /// Throws std::invalid_argument on a null work callable.
+  RequestHandle submit(Request request);
+
+  enum class Shutdown {
+    kDrain,   ///< stop admissions, serve the backlog to completion
+    kCancel,  ///< stop admissions, TIMEOUT the backlog, cancel in-flight
+  };
+  /// Stops the runtime and joins every worker.  Idempotent; the first
+  /// call's mode wins.  On return every submitted request is terminal.
+  void shutdown(Shutdown mode = Shutdown::kDrain);
+
+  /// Monotonic counters.  The conservation identities
+  ///   submitted == admitted + rejected_full + rejected_closed
+  ///   admitted  == ok + timeout + failed + evicted      (once quiesced)
+  /// hold exactly after shutdown() returns (mid-flight, popped-but-
+  /// unfinished requests are in neither bucket).
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t rejected_full = 0;    ///< shed at admission: queue full
+    std::uint64_t rejected_closed = 0;  ///< shed at admission: shutting down
+    std::uint64_t evicted = 0;     ///< admitted, then shed for higher priority
+    std::uint64_t timeout = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t retries = 0;      ///< extra attempts beyond each first
+    std::uint64_t degraded_ok = 0;  ///< OK served by the serial fallback
+    std::uint64_t terminal() const noexcept {
+      return ok + rejected_full + rejected_closed + evicted + timeout + failed;
+    }
+    bool conserved() const noexcept {
+      return submitted == terminal() &&
+             admitted == ok + evicted + timeout + failed;
+    }
+  };
+  Stats stats() const;
+
+  const ServingOptions& options() const noexcept { return options_; }
+  std::size_t queue_depth() const { return queue_->size(); }
+
+ private:
+  struct Item {
+    Request request;
+    RequestHandle handle;
+    Clock::time_point enqueued{};
+    Clock::time_point deadline = Clock::time_point::max();
+  };
+  struct Worker {
+    std::unique_ptr<ThreadPool> pool;  ///< null when streams == 1
+    std::unique_ptr<ExecScheduler> primary;
+    std::unique_ptr<ExecScheduler> fallback;  ///< streams=1, no sharding
+    CancelToken cancel;
+    std::thread thread;
+  };
+  struct Counters;
+
+  void worker_loop(std::size_t worker_id);
+  void serve_one(Worker& worker, std::size_t worker_id,
+                 std::shared_ptr<Item> item);
+  void complete(Item& item, Response response);
+  /// Deadline/cancel-aware sleep; false when the wait was cut short.
+  bool backoff_wait(const Worker& worker, Clock::duration wait,
+                    Clock::time_point deadline);
+
+  ServingOptions options_;
+  std::unique_ptr<AdmissionQueue<std::shared_ptr<Item>>> queue_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<Counters> counters_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::mutex shutdown_mutex_;
+  bool shut_down_ = false;
+};
+
+}  // namespace tilesparse::serve

@@ -1,0 +1,84 @@
+#pragma once
+// Cooperative cancellation for in-flight graph runs.
+//
+// A request that outlives its deadline must stop consuming worker time,
+// but GEMM kernels cannot be interrupted mid-flight without corrupting
+// scratch state.  The compromise is cooperative: the ExecScheduler
+// checks an installed CancelToken at every node boundary (between
+// kernels, where no state is half-written) and abandons the rest of the
+// graph by throwing CancelledError.  The serving runtime arms one token
+// per worker with the active request's deadline, so a hung or slow
+// graph costs at most one node's worth of overrun.
+//
+// CancelledError deliberately does NOT derive from runtime_error's
+// "failure" meaning in the serving runtime's eyes: the runtime maps it
+// to the TIMEOUT terminal status and never retries it, while ordinary
+// exceptions mean FAILED (with bounded retries).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace tilesparse {
+
+/// Thrown at a cancellation point once the token's flag is set or its
+/// deadline has passed.
+class CancelledError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A resettable cancel flag plus optional absolute deadline.  One
+/// writer (the owner arming it per request) plus any number of
+/// concurrent readers; cancel() may be called from any thread.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Re-arms the token for a new unit of work: clears the flag and
+  /// installs `deadline` (Clock::time_point::max() = none).  Must not
+  /// race with expired() checks for the *previous* unit of work.
+  void reset(Clock::time_point deadline = Clock::time_point::max()) noexcept {
+    deadline_ns_.store(to_ns(deadline), std::memory_order_relaxed);
+    cancelled_.store(false, std::memory_order_release);
+  }
+
+  /// Requests cancellation now, regardless of deadline.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+
+  bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// True once cancelled or past the deadline.
+  bool expired() const noexcept {
+    if (cancel_requested()) return true;
+    const std::int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    return deadline != kNoDeadline && to_ns(Clock::now()) >= deadline;
+  }
+
+  /// Cancellation point: throws CancelledError when expired.
+  void throw_if_expired() const {
+    if (!expired()) return;
+    throw CancelledError(cancel_requested() ? "request cancelled"
+                                            : "request deadline exceeded");
+  }
+
+ private:
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
+
+  static std::int64_t to_ns(Clock::time_point tp) noexcept {
+    if (tp == Clock::time_point::max()) return kNoDeadline;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               tp.time_since_epoch())
+        .count();
+  }
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace tilesparse

@@ -1,0 +1,96 @@
+#include "util/fault_injection.hpp"
+
+#if defined(TILESPARSE_ENABLE_FAULTS)
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+namespace tilesparse {
+namespace {
+
+// Hot-path state is all atomics so fault_point() never takes a lock;
+// arm/disarm serialise on config_mutex and publish through `armed`.
+struct SiteState {
+  std::atomic<std::uint64_t> threshold{0};  ///< fire iff hash < threshold
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> fired{0};
+};
+
+std::mutex config_mutex;
+std::atomic<bool> armed{false};
+std::atomic<std::uint64_t> fault_seed{1};
+SiteState sites[kFaultSiteCount];
+
+/// splitmix64 finaliser over (seed, site, call index): a cheap, well
+/// mixed, stateless hash so the Nth decision at a site is a pure
+/// function of the config.
+std::uint64_t mix(std::uint64_t seed, std::size_t site, std::uint64_t n) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (n + 1) +
+                    0xbf58476d1ce4e5b9ull * (site + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rate_to_threshold(double rate) {
+  if (rate <= 0.0) return 0;
+  if (rate >= 1.0) return ~0ull;
+  return static_cast<std::uint64_t>(rate * 18446744073709551616.0 /* 2^64 */);
+}
+
+}  // namespace
+
+void arm_faults(const FaultConfig& config) {
+  std::lock_guard lock(config_mutex);
+  armed.store(false, std::memory_order_release);
+  fault_seed.store(config.seed, std::memory_order_relaxed);
+  for (std::size_t s = 0; s < kFaultSiteCount; ++s) {
+    sites[s].threshold.store(rate_to_threshold(config.rate[s]),
+                             std::memory_order_relaxed);
+    sites[s].calls.store(0, std::memory_order_relaxed);
+    sites[s].fired.store(0, std::memory_order_relaxed);
+  }
+  armed.store(true, std::memory_order_release);
+}
+
+void disarm_faults() {
+  std::lock_guard lock(config_mutex);
+  armed.store(false, std::memory_order_release);
+}
+
+FaultCounts fault_counts() {
+  FaultCounts counts;
+  for (std::size_t s = 0; s < kFaultSiteCount; ++s) {
+    counts.calls[s] = sites[s].calls.load(std::memory_order_relaxed);
+    counts.fired[s] = sites[s].fired.load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void fault_point(FaultSite site) {
+  if (!armed.load(std::memory_order_acquire)) return;
+  SiteState& state = sites[static_cast<std::size_t>(site)];
+  const std::uint64_t threshold = state.threshold.load(std::memory_order_relaxed);
+  const std::uint64_t n = state.calls.fetch_add(1, std::memory_order_relaxed);
+  if (threshold == 0) return;
+  if (mix(fault_seed.load(std::memory_order_relaxed),
+          static_cast<std::size_t>(site), n) < threshold) {
+    state.fired.fetch_add(1, std::memory_order_relaxed);
+    throw FaultInjectedError(std::string("injected fault at ") +
+                             fault_site_name(site) + " (call " +
+                             std::to_string(n) + ")");
+  }
+}
+
+}  // namespace tilesparse
+
+#else
+
+// Keep the TU non-empty in builds without the option so the glob'd
+// source list is identical in every configuration.
+namespace tilesparse::detail {
+const int fault_injection_disabled = 0;
+}
+
+#endif  // TILESPARSE_ENABLE_FAULTS

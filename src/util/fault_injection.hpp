@@ -1,0 +1,132 @@
+#pragma once
+// Deterministic, seeded fault injection for resilience testing.
+//
+// The serving runtime promises that every admitted request reaches
+// exactly one terminal status no matter what fails underneath it.  That
+// promise is only worth something if failures actually happen in tests,
+// so the library carries explicit injection points at its three failure
+// surfaces:
+//
+//   kSchedulerDispatch — ExecScheduler task dispatch (a "stream fault":
+//                        a node that dies mid-graph),
+//   kKernelEntry       — PackedWeight::matmul entry, the gate every
+//                        GEMM kernel family runs behind (chosen over
+//                        the 6x16 micro-kernel body itself because it
+//                        sits *outside* the OpenMP regions, so an
+//                        injected exception unwinds safely),
+//   kIoRead            — io/serialize artifact reads (a corrupt or
+//                        unreadable weight file at load time).
+//
+// Faults are decided by a counter-indexed hash of a user seed: the Nth
+// call at a site fires iff splitmix64(seed, site, N) falls under the
+// configured rate.  The decision sequence per site is therefore fully
+// reproducible for a given seed — thread interleaving changes *which
+// request* absorbs the Nth fault, never how many fire or when in the
+// sequence.  A fired point throws FaultInjectedError, which is an
+// ordinary std::runtime_error: callers must survive it exactly like any
+// real fault.
+//
+// The whole layer compiles away behind TILESPARSE_ENABLE_FAULTS
+// (CMake -DTILESPARSE_ENABLE_FAULTS=ON): with the option off,
+// fault_point() is an empty inline and the hot paths carry zero cost.
+// Never enable faults in a production build.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+namespace tilesparse {
+
+/// Thrown by an armed fault_point().  Derives from runtime_error so
+/// fault-handling code paths are the same ones real faults exercise.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class FaultSite : std::size_t {
+  kSchedulerDispatch = 0,
+  kKernelEntry = 1,
+  kIoRead = 2,
+};
+inline constexpr std::size_t kFaultSiteCount = 3;
+
+inline const char* fault_site_name(FaultSite site) noexcept {
+  switch (site) {
+    case FaultSite::kSchedulerDispatch: return "scheduler.dispatch";
+    case FaultSite::kKernelEntry: return "kernel.entry";
+    case FaultSite::kIoRead: return "io.read";
+  }
+  return "?";
+}
+
+/// Process-wide injection plan: one firing rate per site, one seed for
+/// the whole decision sequence.
+struct FaultConfig {
+  std::uint64_t seed = 1;
+  /// Probability in [0, 1] that a call at the site throws, indexed by
+  /// FaultSite.  0 disarms the site.
+  std::array<double, kFaultSiteCount> rate{};
+
+  FaultConfig& with_rate(FaultSite site, double probability) {
+    rate[static_cast<std::size_t>(site)] = probability;
+    return *this;
+  }
+};
+
+/// Per-site counters since the last arm_faults(): calls seen and faults
+/// fired.  Deterministic for a fixed seed and per-site call count.
+struct FaultCounts {
+  std::array<std::uint64_t, kFaultSiteCount> calls{};
+  std::array<std::uint64_t, kFaultSiteCount> fired{};
+  std::uint64_t total_fired() const noexcept {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t f : fired) sum += f;
+    return sum;
+  }
+};
+
+/// True when the build carries the injection points at all.
+constexpr bool faults_compiled_in() noexcept {
+#if defined(TILESPARSE_ENABLE_FAULTS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(TILESPARSE_ENABLE_FAULTS)
+
+/// Installs `config` process-wide and zeroes the counters.  Thread-safe
+/// with respect to concurrent fault_point() calls.
+void arm_faults(const FaultConfig& config);
+/// Disarms every site (fault_point becomes pass-through).  Counters
+/// keep their values until the next arm_faults().
+void disarm_faults();
+/// Snapshot of the per-site counters.
+FaultCounts fault_counts();
+/// The injection point: counts the call and throws FaultInjectedError
+/// when the seeded decision for this call fires.
+void fault_point(FaultSite site);
+
+#else
+
+inline void arm_faults(const FaultConfig&) {}
+inline void disarm_faults() {}
+inline FaultCounts fault_counts() { return {}; }
+inline void fault_point(FaultSite) noexcept {}
+
+#endif  // TILESPARSE_ENABLE_FAULTS
+
+/// RAII arm/disarm for tests: faults are active only inside the scope,
+/// so reference results computed outside it stay fault-free.
+class ScopedFaults {
+ public:
+  explicit ScopedFaults(const FaultConfig& config) { arm_faults(config); }
+  ~ScopedFaults() { disarm_faults(); }
+  ScopedFaults(const ScopedFaults&) = delete;
+  ScopedFaults& operator=(const ScopedFaults&) = delete;
+};
+
+}  // namespace tilesparse

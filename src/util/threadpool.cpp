@@ -17,15 +17,26 @@ ThreadPool::ThreadPool(std::size_t threads) {
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  live_workers_.store(threads, std::memory_order_release);
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  std::vector<std::thread> joinable;
   {
     std::lock_guard lock(mutex_);
+    stopped_.store(true, std::memory_order_release);
     stop_ = true;
+    joinable.swap(workers_);
   }
   cv_.notify_all();
-  for (auto& worker : workers_) worker.join();
+  // Join outside the mutex: an attached worker needs it to detach from
+  // its final task before exiting.  live_workers_ drops to zero only
+  // after every worker is truly gone, so worker_count() never counts a
+  // thread that will not serve the next task.
+  for (auto& worker : joinable) worker.join();
+  if (!joinable.empty()) live_workers_.store(0, std::memory_order_release);
 }
 
 ThreadPool& ThreadPool::global() {
@@ -80,8 +91,10 @@ void ThreadPool::parallel_for_chunked(
   const std::size_t total = end - begin;
   min_chunk = std::max<std::size_t>(1, min_chunk);
 
-  // Nested or tiny calls run inline: simpler and avoids deadlock.
-  if (inside_worker_ || workers_.empty() || total <= min_chunk) {
+  // Nested, tiny, or post-shutdown calls run inline: simpler and avoids
+  // deadlock (after shutdown there is nobody to help anyway).
+  if (inside_worker_ || stopped() || worker_count() <= 1 ||
+      total <= min_chunk) {
     body(begin, end);
     return;
   }

@@ -33,7 +33,25 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Total workers including the caller of parallel_for.
-  std::size_t worker_count() const noexcept { return workers_.size() + 1; }
+  std::size_t worker_count() const noexcept {
+    return live_workers_.load(std::memory_order_acquire) + 1;
+  }
+
+  /// Stops and joins the worker threads.  Safe to call with
+  /// parallel_for calls in flight from other threads: tasks already
+  /// claimed complete (a worker finishes its attached drain before
+  /// exiting; the calling thread of a parallel_for always drains its
+  /// own task even with no workers left), and parallel_for calls that
+  /// arrive after shutdown run inline on the caller.  Idempotent; the
+  /// destructor calls it.  The serving runtime uses this for clean
+  /// teardown under load.
+  void shutdown();
+
+  /// True once shutdown() has begun; subsequent parallel_for calls run
+  /// inline.
+  bool stopped() const noexcept {
+    return stopped_.load(std::memory_order_acquire);
+  }
 
   /// Runs body(i) for every i in [begin, end), partitioned into chunks.
   /// Blocks until all iterations are complete.  Safe to call with
@@ -65,7 +83,9 @@ class ThreadPool {
   void worker_loop();
   static void drain(Task& task);
 
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  // guarded by mutex_ (moved out to join)
+  std::atomic<std::size_t> live_workers_{0};
+  std::atomic<bool> stopped_{false};
   std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable detached_cv_;  ///< signals task.attached -> 0

@@ -400,6 +400,43 @@ TEST(SchedulerTest, HostNodeExceptionPropagates) {
   EXPECT_EQ(runs.load(), 1);
 }
 
+TEST(SchedulerTest, RecoversBitIdenticalAfterMidGraphThrow) {
+  // Serving-runtime regression: a worker's scheduler absorbs a node
+  // exception mid-graph and must then serve healthy GEMM graphs with
+  // bit-identical results — no stale plan, stream, or pool state may
+  // leak out of the failed run.  Several failure/recovery cycles, since
+  // the first recovery can pass while a later one trips on residue.
+  const MatrixF w = random_matrix(32, 64, 21);
+  const MatrixF a = random_matrix(9, 32, 22);
+  const auto packed = make_packed("dense", w);
+  const MatrixF expected = packed->matmul(ExecContext{}, a);
+
+  ThreadPool pool(3);
+  SchedulerOptions options;
+  options.streams = 4;
+  ExecScheduler scheduler(options, &pool);
+
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    ExecGraph bad;
+    const auto in = bad.add_slot("in");
+    const auto mid = bad.add_slot("mid");
+    bad.add_gemm("gemm", packed.get(), in, mid);
+    bad.add_host("boom", {mid}, {}, [](ExecGraph&) {
+      throw std::runtime_error("mid-graph node failure");
+    });
+    bad.slot(in) = a;
+    EXPECT_THROW(scheduler.run(bad), std::runtime_error);
+
+    ExecGraph good;
+    const auto gin = good.add_slot("in");
+    const auto gout = good.add_slot("out");
+    good.add_gemm("gemm", packed.get(), gin, gout);
+    good.slot(gin) = a;
+    scheduler.run(good);
+    ASSERT_TRUE(bit_identical(good.slot(gout), expected)) << "cycle " << cycle;
+  }
+}
+
 TEST(SchedulerTest, ReplansWhenTheGraphGrowsNewNodes) {
   // The plan cache is keyed on (build id, node count, streams); a graph
   // that gained nodes between runs of the SAME scheduler must be

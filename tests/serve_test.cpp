@@ -1,0 +1,562 @@
+// ServingRuntime contract tests: every submitted request reaches
+// exactly one terminal status (OK / REJECTED / TIMEOUT / FAILED), the
+// admission queue sheds instead of blocking, deadlines cancel work
+// cooperatively at node boundaries, failures are isolated per request
+// with bounded degraded retries, and the conservation identities hold
+// after shutdown.  Chaos coverage (injected faults, mixed traffic)
+// lives in serve_chaos_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/backend_registry.hpp"
+#include "exec/exec_context.hpp"
+#include "exec/graph.hpp"
+#include "exec/validate.hpp"
+#include "serve/admission_queue.hpp"
+#include "serve/request.hpp"
+#include "serve/serving_runtime.hpp"
+#include "tensor/ops.hpp"
+#include "util/cancellation.hpp"
+#include "util/rng.hpp"
+
+namespace tilesparse::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+MatrixF random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  MatrixF m(rows, cols);
+  fill_normal(m, rng);
+  return m;
+}
+
+bool bit_identical(const MatrixF& a, const MatrixF& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return a.size() == 0 ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+MatrixF scalar(float value) {
+  MatrixF m(1, 1);
+  m(0, 0) = value;
+  return m;
+}
+
+/// Lets a test hold a worker inside a request until the queue is in a
+/// known state.
+struct Gate {
+  std::mutex m;
+  std::condition_variable cv;
+  bool open = false;
+  int waiting = 0;
+
+  void wait_open() {
+    std::unique_lock lock(m);
+    ++waiting;
+    cv.notify_all();
+    cv.wait(lock, [&] { return open; });
+  }
+  void enter() {  // announce presence without blocking
+    std::lock_guard lock(m);
+    ++waiting;
+    cv.notify_all();
+  }
+  void wait_for_waiter() {
+    std::unique_lock lock(m);
+    cv.wait(lock, [&] { return waiting > 0; });
+  }
+  void release() {
+    {
+      std::lock_guard lock(m);
+      open = true;
+    }
+    cv.notify_all();
+  }
+};
+
+// --------------------------------------------------- admission queue
+
+TEST(AdmissionQueueTest, ServesHighestClassFirstFifoWithin) {
+  AdmissionQueue<int> q(8);
+  EXPECT_EQ(q.push(1, Priority::kBatch), PushOutcome::kAdmitted);
+  EXPECT_EQ(q.push(2, Priority::kInteractive), PushOutcome::kAdmitted);
+  EXPECT_EQ(q.push(3, Priority::kNormal), PushOutcome::kAdmitted);
+  EXPECT_EQ(q.push(4, Priority::kInteractive), PushOutcome::kAdmitted);
+  EXPECT_EQ(q.push(5, Priority::kBatch), PushOutcome::kAdmitted);
+
+  int out = 0;
+  std::vector<int> order;
+  while (q.try_pop(out)) order.push_back(out);
+  EXPECT_EQ(order, (std::vector<int>{2, 4, 3, 1, 5}));
+}
+
+TEST(AdmissionQueueTest, FullQueueRejectsWithoutEviction) {
+  AdmissionQueue<int> q(2);
+  EXPECT_EQ(q.push(1, Priority::kNormal), PushOutcome::kAdmitted);
+  EXPECT_EQ(q.push(2, Priority::kNormal), PushOutcome::kAdmitted);
+  EXPECT_EQ(q.push(3, Priority::kInteractive), PushOutcome::kRejectedFull);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(AdmissionQueueTest, EvictsNewestOfLowestStrictlyLowerClass) {
+  AdmissionQueue<int> q(3);
+  ASSERT_EQ(q.push(10, Priority::kBatch), PushOutcome::kAdmitted);
+  ASSERT_EQ(q.push(11, Priority::kBatch), PushOutcome::kAdmitted);
+  ASSERT_EQ(q.push(20, Priority::kNormal), PushOutcome::kAdmitted);
+
+  int shed = 0;
+  EXPECT_EQ(q.push(30, Priority::kInteractive, &shed),
+            PushOutcome::kAdmittedAfterEvict);
+  EXPECT_EQ(shed, 11);  // newest batch entry, not the normal one
+  EXPECT_EQ(q.size(), 3u);
+
+  // Same-class arrivals never evict: nothing strictly lower remains
+  // once only normal+interactive entries are left.
+  ASSERT_EQ(q.push(31, Priority::kInteractive, &shed),
+            PushOutcome::kAdmittedAfterEvict);
+  EXPECT_EQ(shed, 10);
+  int more = 0;
+  EXPECT_EQ(q.push(32, Priority::kNormal, &more), PushOutcome::kRejectedFull);
+}
+
+TEST(AdmissionQueueTest, CloseStopsAdmissionsButDrainsBacklog) {
+  AdmissionQueue<int> q(4);
+  ASSERT_EQ(q.push(1, Priority::kNormal), PushOutcome::kAdmitted);
+  q.close();
+  EXPECT_EQ(q.push(2, Priority::kNormal), PushOutcome::kRejectedClosed);
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_FALSE(q.pop(out));  // closed and empty: worker exit signal
+}
+
+TEST(AdmissionQueueTest, CloseAndDrainReturnsBacklogHighestFirst) {
+  AdmissionQueue<int> q(4);
+  ASSERT_EQ(q.push(1, Priority::kBatch), PushOutcome::kAdmitted);
+  ASSERT_EQ(q.push(2, Priority::kInteractive), PushOutcome::kAdmitted);
+  ASSERT_EQ(q.push(3, Priority::kNormal), PushOutcome::kAdmitted);
+  const std::vector<int> drained = q.close_and_drain();
+  EXPECT_EQ(drained, (std::vector<int>{2, 3, 1}));
+  EXPECT_EQ(q.size(), 0u);
+  int out = 0;
+  EXPECT_FALSE(q.pop(out));
+}
+
+TEST(AdmissionQueueTest, CloseWakesBlockedPop) {
+  AdmissionQueue<int> q(4);
+  std::atomic<bool> returned{false};
+  std::thread popper([&] {
+    int out = 0;
+    EXPECT_FALSE(q.pop(out));
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(10ms);
+  q.close();
+  popper.join();
+  EXPECT_TRUE(returned.load());
+}
+
+// ----------------------------------------------------- cancel token
+
+TEST(CancelTokenTest, DeadlineAndFlagBothExpireAndResetRearms) {
+  CancelToken token;
+  EXPECT_FALSE(token.expired());
+  EXPECT_NO_THROW(token.throw_if_expired());
+
+  token.reset(CancelToken::Clock::now() - 1ms);
+  EXPECT_TRUE(token.expired());
+  EXPECT_THROW(token.throw_if_expired(), CancelledError);
+
+  token.reset();  // no deadline
+  EXPECT_FALSE(token.expired());
+  token.cancel();
+  EXPECT_TRUE(token.cancel_requested());
+  EXPECT_THROW(token.throw_if_expired(), CancelledError);
+
+  token.reset(CancelToken::Clock::now() + 1h);
+  EXPECT_FALSE(token.expired());
+}
+
+// -------------------------------------------------- serving runtime
+
+TEST(ServingRuntimeTest, OkResultIsBitIdenticalToDirectMatmul) {
+  const MatrixF w = random_matrix(24, 48, 11);
+  const MatrixF a = random_matrix(7, 24, 12);
+  const auto packed = make_packed("dense", w);
+  const MatrixF expected = packed->matmul(ExecContext{}, a);
+
+  ServingOptions options;
+  options.workers = 2;
+  options.streams = 2;
+  ServingRuntime runtime(options);
+  std::vector<RequestHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    Request request;
+    request.tag = "gemm-" + std::to_string(i);
+    request.work = [&](WorkerContext& ctx) {
+      ExecGraph g;
+      const auto in = g.add_slot("in");
+      const auto out = g.add_slot("out");
+      g.add_gemm("gemm", packed.get(), in, out);
+      g.slot(in) = a;
+      ctx.scheduler.run(g);
+      return std::move(g.slot(out));
+    };
+    handles.push_back(runtime.submit(std::move(request)));
+  }
+  for (const auto& handle : handles) {
+    const Response& response = handle->wait();
+    ASSERT_EQ(response.status, RequestStatus::kOk) << response.error;
+    EXPECT_TRUE(bit_identical(response.result, expected));
+    EXPECT_EQ(response.attempts, 1u);
+    EXPECT_FALSE(response.degraded);
+  }
+  runtime.shutdown();
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.ok, 8u);
+  EXPECT_TRUE(stats.conserved());
+}
+
+TEST(ServingRuntimeTest, FullQueueShedsInsteadOfBlocking) {
+  Gate gate;
+  ServingOptions options;
+  options.workers = 1;
+  options.streams = 1;
+  options.queue_capacity = 1;
+  options.evict_lower_priority = false;
+  ServingRuntime runtime(options);
+
+  Request blocker;
+  blocker.tag = "blocker";
+  blocker.work = [&](WorkerContext&) {
+    gate.wait_open();
+    return scalar(1.0f);
+  };
+  auto blocked = runtime.submit(std::move(blocker));
+  gate.wait_for_waiter();  // the worker is now held inside the request
+
+  Request queued;
+  queued.work = [](WorkerContext&) { return scalar(2.0f); };
+  auto admitted = runtime.submit(std::move(queued));  // fills the queue
+
+  // Saturated: further arrivals terminate immediately as REJECTED.
+  Request extra;
+  extra.tag = "shed";
+  extra.work = [](WorkerContext&) { return scalar(3.0f); };
+  auto shed = runtime.submit(std::move(extra));
+  ASSERT_TRUE(shed->done());
+  EXPECT_EQ(shed->response().status, RequestStatus::kRejected);
+  EXPECT_EQ(shed->response().error, "admission queue full");
+  EXPECT_EQ(shed->response().tag, "shed");
+
+  gate.release();
+  EXPECT_EQ(blocked->wait().status, RequestStatus::kOk);
+  EXPECT_EQ(admitted->wait().status, RequestStatus::kOk);
+  runtime.shutdown();
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.rejected_full, 1u);
+  EXPECT_EQ(stats.ok, 2u);
+  EXPECT_TRUE(stats.conserved());
+}
+
+TEST(ServingRuntimeTest, HigherPriorityArrivalEvictsQueuedLowerClass) {
+  Gate gate;
+  ServingOptions options;
+  options.workers = 1;
+  options.streams = 1;
+  options.queue_capacity = 1;
+  ServingRuntime runtime(options);
+
+  Request blocker;
+  blocker.work = [&](WorkerContext&) {
+    gate.wait_open();
+    return scalar(0.0f);
+  };
+  auto blocked = runtime.submit(std::move(blocker));
+  gate.wait_for_waiter();
+
+  Request batch;
+  batch.priority = Priority::kBatch;
+  batch.tag = "victim";
+  batch.work = [](WorkerContext&) { return scalar(1.0f); };
+  auto victim = runtime.submit(std::move(batch));
+
+  Request urgent;
+  urgent.priority = Priority::kInteractive;
+  urgent.work = [](WorkerContext&) { return scalar(2.0f); };
+  auto admitted = runtime.submit(std::move(urgent));
+
+  ASSERT_TRUE(victim->done());
+  EXPECT_EQ(victim->response().status, RequestStatus::kRejected);
+  EXPECT_EQ(victim->response().tag, "victim");
+
+  gate.release();
+  EXPECT_EQ(admitted->wait().status, RequestStatus::kOk);
+  runtime.shutdown();
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.evicted, 1u);
+  EXPECT_EQ(stats.ok, 2u);
+  EXPECT_TRUE(stats.conserved());
+}
+
+TEST(ServingRuntimeTest, ExpiredDeadlineTimesOutWithoutExecution) {
+  ServingOptions options;
+  options.workers = 1;
+  ServingRuntime runtime(options);
+  std::atomic<int> executions{0};
+  Request request;
+  request.deadline = Clock::now() - 1ms;
+  request.work = [&](WorkerContext&) {
+    executions.fetch_add(1);
+    return scalar(1.0f);
+  };
+  auto handle = runtime.submit(std::move(request));
+  const Response& response = handle->wait();
+  EXPECT_EQ(response.status, RequestStatus::kTimeout);
+  EXPECT_EQ(executions.load(), 0);
+  runtime.shutdown();
+  EXPECT_TRUE(runtime.stats().conserved());
+}
+
+TEST(ServingRuntimeTest, DeadlineCancelsMidGraphAtNodeBoundary) {
+  ServingOptions options;
+  options.workers = 1;
+  options.streams = 1;  // run_serial: cancellation check before every node
+  ServingRuntime runtime(options);
+
+  std::atomic<int> nodes_run{0};
+  Request request;
+  request.deadline = Clock::now() + 10ms;
+  request.work = [&](WorkerContext& ctx) {
+    ExecGraph g;
+    ExecGraph::SlotId prev = g.add_slot("s0");
+    g.add_host("n0", {}, {prev}, [&](ExecGraph&) {
+      nodes_run.fetch_add(1);
+      std::this_thread::sleep_for(5ms);
+    });
+    for (int i = 1; i < 20; ++i) {
+      const auto next = g.add_slot("s" + std::to_string(i));
+      g.add_host("n" + std::to_string(i), {prev}, {next}, [&](ExecGraph&) {
+        nodes_run.fetch_add(1);
+        std::this_thread::sleep_for(5ms);
+      });
+      prev = next;
+    }
+    ctx.scheduler.run(g);
+    return scalar(1.0f);
+  };
+  auto handle = runtime.submit(std::move(request));
+  const Response& response = handle->wait();
+  EXPECT_EQ(response.status, RequestStatus::kTimeout);
+  EXPECT_EQ(response.attempts, 1u);  // timeouts are never retried
+  // Cancelled cooperatively: some prefix ran, the tail was abandoned.
+  EXPECT_LT(nodes_run.load(), 20);
+  runtime.shutdown();
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.timeout, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_TRUE(stats.conserved());
+}
+
+TEST(ServingRuntimeTest, PersistentFailureExhaustsBoundedRetries) {
+  ServingOptions options;
+  options.workers = 1;
+  options.max_attempts = 3;
+  options.retry_backoff = 100us;
+  ServingRuntime runtime(options);
+  std::atomic<int> calls{0};
+  Request request;
+  request.work = [&](WorkerContext&) -> MatrixF {
+    calls.fetch_add(1);
+    throw std::runtime_error("persistent node failure");
+  };
+  auto handle = runtime.submit(std::move(request));
+  const Response& response = handle->wait();
+  EXPECT_EQ(response.status, RequestStatus::kFailed);
+  EXPECT_EQ(response.error, "persistent node failure");
+  EXPECT_EQ(response.attempts, 3u);
+  EXPECT_EQ(calls.load(), 3);
+  runtime.shutdown();
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_TRUE(stats.conserved());
+}
+
+TEST(ServingRuntimeTest, TransientFailureRetriesOnDegradedPath) {
+  ServingOptions options;
+  options.workers = 1;
+  options.streams = 2;
+  options.max_attempts = 2;
+  options.retry_backoff = 100us;
+  ServingRuntime runtime(options);
+  Request request;
+  request.work = [](WorkerContext& ctx) -> MatrixF {
+    if (ctx.attempt == 0) throw std::runtime_error("transient stream fault");
+    // The retry must run on the serial fallback scheduler.
+    EXPECT_TRUE(ctx.degraded);
+    EXPECT_EQ(ctx.scheduler.options().streams, 1u);
+    return scalar(42.0f);
+  };
+  auto handle = runtime.submit(std::move(request));
+  const Response& response = handle->wait();
+  ASSERT_EQ(response.status, RequestStatus::kOk) << response.error;
+  EXPECT_TRUE(response.degraded);
+  EXPECT_EQ(response.attempts, 2u);
+  EXPECT_EQ(response.result(0, 0), 42.0f);
+  runtime.shutdown();
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.degraded_ok, 1u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_TRUE(stats.conserved());
+}
+
+TEST(ServingRuntimeTest, ValidationFailureFallsBackWithoutBackoff) {
+  ServingOptions options;
+  options.workers = 1;
+  options.max_attempts = 2;
+  options.retry_backoff = 10s;  // would blow the test budget if waited on
+  ServingRuntime runtime(options);
+  Request request;
+  request.work = [](WorkerContext& ctx) -> MatrixF {
+    if (!ctx.degraded) {
+      throw GraphValidationError(
+          {{FindingSeverity::kError, "shape-mismatch", "graph rejected"}});
+    }
+    return scalar(7.0f);
+  };
+  auto handle = runtime.submit(std::move(request));
+  ASSERT_TRUE(handle->wait_for(5s));
+  const Response& response = handle->response();
+  ASSERT_EQ(response.status, RequestStatus::kOk) << response.error;
+  EXPECT_TRUE(response.degraded);
+  runtime.shutdown();
+  EXPECT_TRUE(runtime.stats().conserved());
+}
+
+TEST(ServingRuntimeTest, WorkerSurvivesFailuresAndKeepsServing) {
+  ServingOptions options;
+  options.workers = 1;
+  options.max_attempts = 1;
+  ServingRuntime runtime(options);
+  std::vector<RequestHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    Request request;
+    if (i % 2 == 0) {
+      request.work = [](WorkerContext&) -> MatrixF {
+        throw std::runtime_error("boom");
+      };
+    } else {
+      request.work = [i](WorkerContext&) {
+        return scalar(static_cast<float>(i));
+      };
+    }
+    handles.push_back(runtime.submit(std::move(request)));
+  }
+  for (int i = 0; i < 10; ++i) {
+    const Response& response = handles[static_cast<std::size_t>(i)]->wait();
+    if (i % 2 == 0) {
+      EXPECT_EQ(response.status, RequestStatus::kFailed);
+    } else {
+      ASSERT_EQ(response.status, RequestStatus::kOk);
+      EXPECT_EQ(response.result(0, 0), static_cast<float>(i));
+    }
+  }
+  runtime.shutdown();
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.ok, 5u);
+  EXPECT_EQ(stats.failed, 5u);
+  EXPECT_TRUE(stats.conserved());
+}
+
+TEST(ServingRuntimeTest, CancelShutdownTimesOutBacklogAndInFlight) {
+  Gate gate;
+  ServingOptions options;
+  options.workers = 1;
+  options.queue_capacity = 8;
+  ServingRuntime runtime(options);
+
+  Request blocker;
+  blocker.work = [&](WorkerContext& ctx) -> MatrixF {
+    gate.enter();
+    // A long-running request: spins at a cancellation point until
+    // shutdown(kCancel) trips the worker token.
+    while (!ctx.cancel.cancel_requested()) std::this_thread::sleep_for(100us);
+    ctx.cancel.throw_if_expired();
+    return scalar(1.0f);
+  };
+  auto in_flight = runtime.submit(std::move(blocker));
+  gate.wait_for_waiter();
+
+  std::vector<RequestHandle> backlog;
+  for (int i = 0; i < 4; ++i) {
+    Request request;
+    request.work = [](WorkerContext&) { return scalar(0.0f); };
+    backlog.push_back(runtime.submit(std::move(request)));
+  }
+
+  // shutdown(kCancel) completes the backlog as TIMEOUT before joining,
+  // then cancels the worker token so the in-flight request unblocks.
+  runtime.shutdown(ServingRuntime::Shutdown::kCancel);
+  for (const auto& handle : backlog) {
+    EXPECT_EQ(handle->wait().status, RequestStatus::kTimeout);
+  }
+  EXPECT_EQ(in_flight->wait().status, RequestStatus::kTimeout);
+
+  // Post-shutdown arrivals are terminally rejected, not lost.
+  Request late;
+  late.work = [](WorkerContext&) { return scalar(9.0f); };
+  auto rejected = runtime.submit(std::move(late));
+  ASSERT_TRUE(rejected->done());
+  EXPECT_EQ(rejected->response().status, RequestStatus::kRejected);
+
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.timeout, 5u);
+  EXPECT_EQ(stats.rejected_closed, 1u);
+  EXPECT_TRUE(stats.conserved());
+}
+
+TEST(ServingRuntimeTest, DrainShutdownServesEverythingAdmitted) {
+  ServingOptions options;
+  options.workers = 3;
+  options.streams = 2;
+  options.queue_capacity = 256;
+  ServingRuntime runtime(options);
+  std::vector<RequestHandle> handles;
+  for (int i = 0; i < 64; ++i) {
+    Request request;
+    request.priority = static_cast<Priority>(i % 3);
+    request.work = [i](WorkerContext&) { return scalar(static_cast<float>(i)); };
+    handles.push_back(runtime.submit(std::move(request)));
+  }
+  runtime.shutdown(ServingRuntime::Shutdown::kDrain);
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    ASSERT_TRUE(handles[i]->done());
+    ASSERT_EQ(handles[i]->response().status, RequestStatus::kOk);
+    EXPECT_EQ(handles[i]->response().result(0, 0), static_cast<float>(i));
+  }
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.admitted, 64u);
+  EXPECT_EQ(stats.ok, 64u);
+  EXPECT_TRUE(stats.conserved());
+}
+
+TEST(ServingRuntimeTest, NullWorkIsAnArgumentError) {
+  ServingRuntime runtime{ServingOptions{}};
+  EXPECT_THROW(runtime.submit(Request{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tilesparse::serve

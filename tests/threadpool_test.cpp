@@ -11,8 +11,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "util/threadpool.hpp"
@@ -97,6 +99,65 @@ TEST(ThreadPoolStress, MachineSizedPoolCompletes) {
   std::atomic<int> hits{0};
   pool.parallel_for(0, 100, [&](std::size_t) { hits.fetch_add(1); });
   EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(ThreadPoolShutdown, PostShutdownCallsRunInline) {
+  ThreadPool pool(4);
+  pool.shutdown();
+  EXPECT_TRUE(pool.stopped());
+  EXPECT_EQ(pool.worker_count(), 1u);  // only the caller remains
+  std::atomic<int> hits{0};
+  pool.parallel_for(0, 64, [&](std::size_t) {
+    hits.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(hits.load(), 64);  // inline fallback, nothing lost
+}
+
+TEST(ThreadPoolShutdown, IdempotentAndDestructorSafe) {
+  ThreadPool pool(3);
+  std::atomic<int> hits{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { hits.fetch_add(1); });
+  pool.shutdown();
+  pool.shutdown();  // second call is a no-op
+  EXPECT_EQ(hits.load(), 10);
+  // Destructor runs shutdown() a third time on scope exit.
+}
+
+TEST(ThreadPoolShutdown, DrainsTasksInFlightFromConcurrentSubmitters) {
+  // The serving runtime tears pools down while workers may still be
+  // launching graphs: shutdown() must not lose iterations.  Submitter
+  // threads hammer parallel_for while the main thread shuts the pool
+  // down mid-stream; every loop must still account for every index —
+  // before the stop via pool workers, after it via the inline path.
+  for (int round = 0; round < 10; ++round) {
+    ThreadPool pool(4);
+    constexpr int kSubmitters = 4;
+    constexpr int kLoops = 50;
+    constexpr std::size_t kRange = 512;
+    std::atomic<std::int64_t> lost{0};
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (int t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&] {
+        for (int loop = 0; loop < kLoops; ++loop) {
+          std::atomic<std::int64_t> sum{0};
+          pool.parallel_for(0, kRange, [&](std::size_t i) {
+            sum.fetch_add(static_cast<std::int64_t>(i),
+                          std::memory_order_relaxed);
+          });
+          constexpr auto kWant =
+              static_cast<std::int64_t>(kRange * (kRange - 1) / 2);
+          if (sum.load() != kWant) lost.fetch_add(1);
+        }
+      });
+    }
+    // Shut down somewhere in the middle of the barrage.
+    std::this_thread::sleep_for(std::chrono::microseconds(200 * round));
+    pool.shutdown();
+    for (auto& submitter : submitters) submitter.join();
+    EXPECT_EQ(lost.load(), 0) << "round " << round;
+    EXPECT_TRUE(pool.stopped());
+  }
 }
 
 }  // namespace
