@@ -49,6 +49,10 @@ struct BenchRecord {
   double p99_ms = -1.0;
   std::int64_t timeouts = -1;  ///< requests that missed their deadline
   std::int64_t rejected = -1;  ///< requests shed at admission
+  // Artifact-loading fields (bench/serialize); emitted only when set.
+  double load_ms = -1.0;          ///< artifact -> ready backends, wall ms
+  std::int64_t rss_kb = -1;       ///< process VmRSS delta across the load
+  std::int64_t file_bytes = -1;   ///< artifact size on disk
 };
 
 class BenchJson {
@@ -83,6 +87,9 @@ class BenchJson {
       if (r.p99_ms >= 0.0) out << ", \"p99_ms\": " << r.p99_ms;
       if (r.timeouts >= 0) out << ", \"timeouts\": " << r.timeouts;
       if (r.rejected >= 0) out << ", \"rejected\": " << r.rejected;
+      if (r.load_ms >= 0.0) out << ", \"load_ms\": " << r.load_ms;
+      if (r.rss_kb >= 0) out << ", \"rss_kb\": " << r.rss_kb;
+      if (r.file_bytes >= 0) out << ", \"file_bytes\": " << r.file_bytes;
       out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
     }
     out << "]\n";

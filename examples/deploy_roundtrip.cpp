@@ -22,6 +22,8 @@
 #include "prune/tw_pruner.hpp"
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
 
 using namespace tilesparse;
 
@@ -93,10 +95,30 @@ int main() {
                 artifact.path().c_str());
   }
 
-  // ---- "inference side": one load, straight into serving backends.
-  {
-    const std::vector<NamedWeight> layers = load_model_weights(artifact.path());
-    std::printf("loaded   %zu layers from artifact\n", layers.size());
+  // ---- "inference side": the same artifact through both load paths —
+  // stream (copies payloads into owned storage) and mmap (backends
+  // borrow the mapping zero-copy) — with load latency and the RSS cost
+  // of each reported side by side.
+  struct LoadPath {
+    const char* label;
+    std::vector<NamedWeight> (*load)(const std::string&);
+  };
+  const LoadPath paths[] = {
+      {"stream", &load_model_weights},
+      {"mmap", &load_model_weights_mapped},
+  };
+  for (const LoadPath& path : paths) {
+    const std::size_t rss_before = process_rss_kb();
+    Stopwatch timer;
+    const std::vector<NamedWeight> layers = path.load(artifact.path());
+    const double load_ms = timer.milliseconds();
+    const std::size_t rss_after = process_rss_kb();
+    std::printf("loaded   %zu layers via %-6s in %6.2f ms, RSS +%zu KiB%s\n",
+                layers.size(), path.label, load_ms,
+                rss_after > rss_before ? rss_after - rss_before : 0,
+                layers.front().weight->borrows_storage()
+                    ? " (weights borrow the mapping)"
+                    : "");
 
     Rng rng(12);
     const ExecContext ctx;
@@ -123,6 +145,7 @@ int main() {
         return 1;
       }
     }
+    std::printf("\n");
   }
   return 0;
 }

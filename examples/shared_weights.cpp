@@ -1,0 +1,388 @@
+// Multi-process zero-copy weight sharing — the measurement behind the
+// mmap load path.  One process exports a v2 (aligned) model artifact;
+// N serving processes map it with SharedModel::load_mapped and serve
+// requests through a ServingRuntime whose WorkerContext exposes the
+// shared model.  Because the mapping is MAP_SHARED and read-only, the
+// kernel keeps ONE physical copy of the weight pages for all N
+// processes, and /proc/self/smaps proves it:
+//
+//   * per-process Rss of the mapping  ~ file size   (each touched it all)
+//   * per-process Pss of the mapping  ~ file size/N (pages are shared)
+//   * Private_Dirty of the mapping    ~ 0           (nobody writes it)
+//
+// The demo fails (non-zero exit) when sharing does not materialise
+// (per-process Pss >= 2 * file_size / N), when any process dirties the
+// mapping, or when any mmap-served output differs bit-for-bit from the
+// parent's stream-loaded baseline.
+//
+// Fork ordering matters: every child is forked BEFORE this process runs
+// any OpenMP region (packing and baseline GEMMs run in a separate
+// builder child / after the forks), so no child inherits a dead OpenMP
+// runtime.
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "exec/backend_registry.hpp"
+#include "io/serialize.hpp"
+#include "prune/importance.hpp"
+#include "prune/tw_pruner.hpp"
+#include "serve/serving_runtime.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+using namespace tilesparse;
+
+namespace {
+
+constexpr std::size_t kProcesses = 4;
+
+struct LayerSpec {
+  const char* name;
+  std::size_t k, n;
+  const char* format;
+};
+
+const std::vector<LayerSpec>& layer_specs() {
+  static const std::vector<LayerSpec> specs = {
+      {"encoder.ffn_in.w", 768, 1536, "tw"},
+      {"encoder.ffn_out.w", 1536, 768, "tew"},
+      {"encoder.proj.w", 768, 768, "dense"},
+      {"encoder.attn.w", 768, 768, "csr"},
+      {"classifier.w", 768, 1024, "tw-int8"},
+  };
+  return specs;
+}
+
+/// FNV-1a over raw bytes: a cheap, deterministic fingerprint for
+/// bit-identity comparison across processes.
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t hash = 0xcbf29ce484222325ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+/// Serves every layer once (deterministic activations) and fingerprints
+/// the concatenated outputs.  `lookup` abstracts stream vs mmap source.
+template <typename Lookup>
+std::uint64_t serve_fingerprint(const Lookup& lookup) {
+  const ExecContext ctx;
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const LayerSpec& spec : layer_specs()) {
+    const PackedWeight* weight = lookup(spec.name);
+    if (!weight) return 0;
+    Rng rng(fnv1a(spec.name, std::strlen(spec.name)));
+    MatrixF activations(32, weight->k());
+    fill_normal(activations, rng);
+    const MatrixF y = weight->matmul(ctx, activations);
+    hash = fnv1a(y.data(), y.size() * sizeof(float), hash);
+  }
+  return hash;
+}
+
+/// Rss/Pss/Private_Dirty (KiB) summed over every /proc/self/smaps
+/// mapping of `path`.
+struct MapCost {
+  std::uint64_t rss_kb = 0;
+  std::uint64_t pss_kb = 0;
+  std::uint64_t private_dirty_kb = 0;
+};
+
+MapCost smaps_cost(const std::string& path) {
+  std::ifstream smaps("/proc/self/smaps");
+  MapCost cost;
+  bool in_mapping = false;
+  std::string line;
+  while (std::getline(smaps, line)) {
+    // Mapping headers start with the address range ("7f..-7f.. r--s ...");
+    // field lines with "Key: value".  The first token of a header
+    // contains '-' and no ':', which no smaps field key does.  A header
+    // resets whether we are inside our file's mapping.
+    const std::size_t first_space = line.find(' ');
+    const std::string token = line.substr(0, first_space);
+    if (token.find('-') != std::string::npos &&
+        token.find(':') == std::string::npos) {
+      in_mapping = line.size() >= path.size() &&
+                   line.compare(line.size() - path.size(), path.size(),
+                                path) == 0;
+      continue;
+    }
+    if (!in_mapping) continue;
+    std::uint64_t kb = 0;
+    if (std::sscanf(line.c_str(), "Rss: %lu kB",
+                    reinterpret_cast<unsigned long*>(&kb)) == 1)
+      cost.rss_kb += kb;
+    else if (std::sscanf(line.c_str(), "Pss: %lu kB",
+                         reinterpret_cast<unsigned long*>(&kb)) == 1)
+      cost.pss_kb += kb;
+    else if (std::sscanf(line.c_str(), "Private_Dirty: %lu kB",
+                         reinterpret_cast<unsigned long*>(&kb)) == 1)
+      cost.private_dirty_kb += kb;
+  }
+  return cost;
+}
+
+bool write_all(int fd, const void* data, std::size_t bytes) {
+  const char* p = static_cast<const char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::write(fd, p, bytes);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t bytes) {
+  char* p = static_cast<char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::read(fd, p, bytes);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Builds the model and writes the v2 artifact.  Runs in its own child
+/// so its OpenMP regions never precede the serving forks in this
+/// process.
+int build_artifact(const std::string& path) {
+  Rng rng(11);
+  std::vector<std::unique_ptr<PackedWeight>> packed;
+  std::vector<std::pair<std::string, const PackedWeight*>> entries;
+  for (const LayerSpec& spec : layer_specs()) {
+    MatrixF weights(spec.k, spec.n);
+    fill_normal(weights, rng);
+    TwPruneOptions options;
+    options.target_sparsity = 0.75;
+    options.g = 64;
+    const TilePattern pattern = tw_prune_single(weights, options);
+    const MatrixF scores = magnitude_scores(weights);
+    PackOptions pack;
+    pack.pattern = &pattern;
+    pack.scores = &scores;
+    if (std::strcmp(spec.format, "csr") == 0) {
+      apply_pattern(pattern, weights);  // CSR of the pruned weights
+      pack.csr_tol = 0.0f;
+    }
+    packed.push_back(make_packed(spec.format, weights, pack));
+    entries.emplace_back(spec.name, packed.back().get());
+  }
+  save_model_weights(path, entries);
+  return 0;
+}
+
+/// One serving process: maps the artifact, serves through a
+/// ServingRuntime, reports its output fingerprint and mapping cost to
+/// the parent over pipes, and holds the mapping until released.
+int serve_child(const std::string& path, int report_fd, int gate_fd) {
+  const auto model = serve::SharedModel::load_mapped(path);
+  for (const auto& entry : model->weights) {
+    if (!entry.weight->borrows_storage()) {
+      std::fprintf(stderr, "child %d: '%s' did not borrow mapped storage\n",
+                   getpid(), entry.name.c_str());
+      return 1;
+    }
+  }
+
+  serve::ServingOptions options;
+  options.workers = 1;
+  options.streams = 1;
+  serve::ServingRuntime runtime(options);
+  runtime.attach_model(model);
+
+  // Serve every layer as a request; the work callable sees the shared
+  // model through its WorkerContext, the way production handlers would.
+  std::uint64_t hash = 0;
+  {
+    serve::Request request;
+    request.tag = "fingerprint";
+    request.work = [&](serve::WorkerContext& context) {
+      hash = serve_fingerprint([&](const char* name) {
+        return context.model ? context.model->find(name) : nullptr;
+      });
+      return MatrixF(1, 1);
+    };
+    const serve::RequestHandle handle = runtime.submit(std::move(request));
+    const serve::Response& response = handle->wait();
+    if (response.status != serve::RequestStatus::kOk || hash == 0) {
+      std::fprintf(stderr, "child %d: serving failed: %s\n", getpid(),
+                   response.error.c_str());
+      return 1;
+    }
+  }
+  runtime.shutdown();
+
+  if (!write_all(report_fd, &hash, sizeof(hash))) return 1;
+  char go = 0;
+  // Wait until every sibling has mapped and touched the file, so the
+  // Pss measurement sees the fully shared steady state.
+  if (!read_all(gate_fd, &go, 1)) return 1;
+
+  const MapCost cost = smaps_cost(path);
+  const std::uint64_t report[3] = {cost.rss_kb, cost.pss_kb,
+                                   cost.private_dirty_kb};
+  if (!write_all(report_fd, report, sizeof(report))) return 1;
+  if (!read_all(gate_fd, &go, 1)) return 1;  // hold the mapping until released
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string path = std::string(tmpdir && *tmpdir ? tmpdir : "/tmp") +
+                           "/tilesparse_shared_" + std::to_string(getpid()) +
+                           ".bin";
+
+  // ---- build the artifact in a separate process (OpenMP isolation).
+  {
+    const pid_t builder = fork();
+    if (builder < 0) return 2;
+    if (builder == 0) _exit(build_artifact(path));
+    int status = 0;
+    waitpid(builder, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "FAIL: artifact build failed\n");
+      return 1;
+    }
+  }
+  struct stat st {};
+  if (stat(path.c_str(), &st) != 0 || st.st_size <= 0) return 2;
+  const auto file_kb = static_cast<std::uint64_t>(st.st_size) / 1024;
+  std::printf("artifact: %s (%lu KiB, %zu layers)\n", path.c_str(),
+              static_cast<unsigned long>(file_kb), layer_specs().size());
+
+  // ---- fork N serving processes (before any OpenMP work here).
+  struct Child {
+    pid_t pid = -1;
+    int report_fd = -1;  // child -> parent
+    int gate_fd = -1;    // parent -> child
+  };
+  std::vector<Child> children(kProcesses);
+  for (Child& child : children) {
+    int report[2], gate[2];
+    if (pipe(report) != 0 || pipe(gate) != 0) return 2;
+    const pid_t pid = fork();
+    if (pid < 0) return 2;
+    if (pid == 0) {
+      close(report[0]);
+      close(gate[1]);
+      _exit(serve_child(path, report[1], gate[0]));
+    }
+    close(report[1]);
+    close(gate[0]);
+    child.pid = pid;
+    child.report_fd = report[0];
+    child.gate_fd = gate[1];
+  }
+
+  // ---- stream-loaded baseline in this process (after the forks).
+  const std::vector<NamedWeight> baseline = load_model_weights(path);
+  const std::uint64_t expected = serve_fingerprint([&](const char* name) {
+    for (const NamedWeight& entry : baseline)
+      if (entry.name == name) return entry.weight.get();
+    return static_cast<PackedWeight*>(nullptr);
+  });
+
+  // ---- phase 1: every child served; outputs must be bit-identical.
+  bool ok = true;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    std::uint64_t hash = 0;
+    if (!read_all(children[i].report_fd, &hash, sizeof(hash)) ||
+        hash != expected) {
+      std::fprintf(stderr,
+                   "FAIL: process %zu fingerprint %016llx != stream baseline "
+                   "%016llx\n",
+                   i, static_cast<unsigned long long>(hash),
+                   static_cast<unsigned long long>(expected));
+      ok = false;
+    }
+  }
+  std::printf("outputs:  %zu mmap-serving processes bit-identical to the "
+              "stream baseline\n",
+              children.size());
+
+  // ---- phase 2: all children hold the mapping; measure sharing.
+  for (const Child& child : children) write_all(child.gate_fd, "g", 1);
+  const std::uint64_t pss_budget_kb = 2 * file_kb / kProcesses;
+  std::uint64_t pss_total = 0, private_dirty_total = 0;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    std::uint64_t report[3] = {0, 0, 0};
+    if (!read_all(children[i].report_fd, report, sizeof(report))) {
+      std::fprintf(stderr, "FAIL: no smaps report from process %zu\n", i);
+      ok = false;
+      continue;
+    }
+    std::printf(
+        "process %zu: mapping Rss %6lu KiB  Pss %6lu KiB  Private_Dirty "
+        "%lu KiB\n",
+        i, static_cast<unsigned long>(report[0]),
+        static_cast<unsigned long>(report[1]),
+        static_cast<unsigned long>(report[2]));
+    pss_total += report[1];
+    private_dirty_total += report[2];
+    if (report[1] >= pss_budget_kb) {
+      std::fprintf(stderr,
+                   "FAIL: process %zu Pss %lu KiB >= budget %lu KiB "
+                   "(file %lu KiB / %zu processes x2)\n",
+                   i, static_cast<unsigned long>(report[1]),
+                   static_cast<unsigned long>(pss_budget_kb),
+                   static_cast<unsigned long>(file_kb), kProcesses);
+      ok = false;
+    }
+  }
+  // A read-only MAP_SHARED file mapping has nothing to dirty; a few KiB
+  // of slack covers kernel accounting quirks.
+  if (private_dirty_total > 16) {
+    std::fprintf(stderr, "FAIL: summed Private_Dirty %lu KiB != ~0\n",
+                 static_cast<unsigned long>(private_dirty_total));
+    ok = false;
+  }
+  std::printf(
+      "sharing:  summed Pss %lu KiB over %zu processes vs %lu KiB file "
+      "(one physical copy, ~%.0f%% shared)\n",
+      static_cast<unsigned long>(pss_total), kProcesses,
+      static_cast<unsigned long>(file_kb),
+      100.0 * (1.0 - static_cast<double>(pss_total) /
+                         (static_cast<double>(file_kb) * kProcesses)));
+
+  // ---- release and reap.
+  for (const Child& child : children) write_all(child.gate_fd, "g", 1);
+  for (const Child& child : children) {
+    int status = 0;
+    waitpid(child.pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "FAIL: serving process exited abnormally\n");
+      ok = false;
+    }
+    close(child.report_fd);
+    close(child.gate_fd);
+  }
+  std::remove(path.c_str());
+  std::printf("%s\n", ok ? "PASS: N processes, one copy of the weights"
+                         : "FAIL: see diagnostics above");
+  return ok ? 0 : 1;
+}

@@ -10,10 +10,13 @@
 #include <memory>
 
 #include "exec/packed_weight.hpp"
+#include "exec/weight_storage.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/spmm.hpp"
 
 namespace tilesparse {
+
+class MappedArtifact;
 
 class CsrWeight final : public PackedWeight {
  public:
@@ -28,7 +31,13 @@ class CsrWeight final : public PackedWeight {
   static std::unique_ptr<CsrWeight> load(std::istream& in, std::size_t k,
                                          std::size_t n);
 
-  void save(std::ostream& out) const override;
+  /// Zero-copy load: the CSR index/value arrays borrow the mapping in
+  /// place; execution still runs on privately built strip panels,
+  /// identical to the stream path.
+  static std::unique_ptr<CsrWeight> load_view(MappedArtifact& in,
+                                              std::size_t k, std::size_t n);
+
+  void save(std::ostream& out, wire::Layout layout = {}) const override;
   MatrixF to_dense() const override;
   std::size_t bytes() const noexcept override;
   double macs(std::size_t m) const noexcept override;
@@ -41,7 +50,7 @@ class CsrWeight final : public PackedWeight {
   std::unique_ptr<PackedWeight> shard_cols(std::size_t n0,
                                            std::size_t n1) const override;
 
-  const Csr& csr() const noexcept { return csr_; }
+  const CsrStore& csr() const noexcept { return csr_; }
   const CsrPanels& panels() const noexcept { return panels_; }
 
  protected:
@@ -49,7 +58,9 @@ class CsrWeight final : public PackedWeight {
                   MatrixF& c) const override;
 
  private:
-  Csr csr_;
+  explicit CsrWeight(CsrStore csr);
+
+  CsrStore csr_;
   /// Strip-partitioned execution layout, built once at pack time (the
   /// CSR itself stays authoritative for serialization / to_dense).
   /// Shards rebuild their own panels from the sliced CSR in the ctor.

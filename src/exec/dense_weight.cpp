@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "io/mmap_file.hpp"
 #include "io/wire.hpp"
 #include "quant/quant_gemm.hpp"
 
@@ -12,17 +13,36 @@ DenseWeight::DenseWeight(MatrixF weights, GemmConfig config)
       weights_(std::move(weights)),
       config_(config) {}
 
-void DenseWeight::save(std::ostream& out) const {
-  wire::write_matrix_payload(out, weights_);
+void DenseWeight::save(std::ostream& out, wire::Layout layout) const {
+  wire::write_matrix_payload(out, weights_, layout);
 }
 
 std::unique_ptr<DenseWeight> DenseWeight::load(std::istream& in, std::size_t k,
-                                               std::size_t n) {
-  MatrixF weights = wire::read_matrix_payload<float>(in);
+                                               std::size_t n,
+                                               wire::Layout layout) {
+  MatrixF weights = wire::read_matrix_payload<float>(in, layout);
   if (weights.rows() != k || weights.cols() != n)
     throw std::runtime_error(
         "DenseWeight::load: payload shape disagrees with artifact header");
   return std::make_unique<DenseWeight>(std::move(weights));
+}
+
+std::unique_ptr<DenseWeight> DenseWeight::load_view(MappedArtifact& in,
+                                                    std::size_t k,
+                                                    std::size_t n) {
+  const auto rows = in.pod<std::uint64_t>();
+  const auto cols = in.pod<std::uint64_t>();
+  if (rows != k || cols != n)
+    throw std::runtime_error(
+        "DenseWeight::load: payload shape disagrees with artifact header");
+  // k/n are pre-validated against int32 by the container parser, so
+  // rows * cols cannot overflow u64 here.
+  const ConstSpan<float> panel = in.span<float>(rows * cols);
+  auto weight = std::make_unique<DenseWeight>(
+      MatrixF::borrowed(panel.data(), static_cast<std::size_t>(rows),
+                        static_cast<std::size_t>(cols)));
+  weight->set_storage_keepalive(in.keepalive());
+  return weight;
 }
 
 std::size_t DenseWeight::bytes() const noexcept {

@@ -52,7 +52,7 @@ std::unique_ptr<PackedWeight> PackedWeight::shard_cols(std::size_t,
                          "' does not support exact column slicing");
 }
 
-void PackedWeight::save(std::ostream&) const {
+void PackedWeight::save(std::ostream&, wire::Layout) const {
   throw std::logic_error(std::string("PackedWeight::save: format '") +
                          std::string(format()) +
                          "' has no serializer (override save() and register "

@@ -21,8 +21,11 @@
 #include <iosfwd>
 #include <memory>
 #include <string_view>
+#include <utility>
 
 #include "exec/exec_context.hpp"
+#include "exec/weight_storage.hpp"
+#include "io/wire.hpp"
 #include "tensor/matrix.hpp"
 
 namespace tilesparse {
@@ -55,11 +58,19 @@ class PackedWeight {
   /// reconstruct this object without the original dense weights (e.g.
   /// the int8 format writes quantised tiles *with their scales*).  The
   /// enclosing container framing (magic, version, format name, k/n) is
-  /// written by write_packed_weight (io/serialize); the matching load
-  /// factory is registered with register_backend_loader.  The default
-  /// throws std::logic_error so execution-only custom backends keep
-  /// working until they opt into serialization.
-  virtual void save(std::ostream& out) const;
+  /// written by write_packed_weight (io/serialize); `layout` is the
+  /// container's wire layout and must govern the payload too (v2 pads
+  /// bulk payloads to 64-byte file offsets so they mmap in place).
+  /// The matching load factory is registered with
+  /// register_backend_loader.  The default throws std::logic_error so
+  /// execution-only custom backends keep working until they opt into
+  /// serialization.
+  virtual void save(std::ostream& out, wire::Layout layout = {}) const;
+
+  /// True when this weight's payload borrows an mmap'd artifact
+  /// (loaded through load_packed_weight_mapped) instead of owning a
+  /// private copy.
+  bool borrows_storage() const noexcept { return keepalive_ != nullptr; }
 
   /// Whether matmul can honor the requested activation numerics.
   /// Every format handles fp32 and fp16 (non-native formats round a
@@ -100,9 +111,17 @@ class PackedWeight {
   /// the wrapper must not pre-round A.
   virtual bool native_fp16() const noexcept { return false; }
 
+  /// Installed by the load_view factories: keeps the mapped artifact
+  /// alive for as long as this weight borrows storage from it.  Owning
+  /// weights (packed, stream-loaded, or sharded) leave it null.
+  void set_storage_keepalive(StorageKeepalive keepalive) noexcept {
+    keepalive_ = std::move(keepalive);
+  }
+
  private:
   std::size_t k_ = 0;
   std::size_t n_ = 0;
+  StorageKeepalive keepalive_;
 };
 
 }  // namespace tilesparse

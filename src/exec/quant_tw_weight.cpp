@@ -4,9 +4,23 @@
 
 #include "core/tile_exec.hpp"
 #include "exec/tw_weight.hpp"
+#include "io/mmap_file.hpp"
 #include "io/wire.hpp"
 
 namespace tilesparse {
+
+namespace {
+
+void check_quant_tile(const QuantMaskedTile& tile, std::size_t k,
+                      std::size_t n) {
+  if (tile.weights.rows() != tile.kept_rows.size() ||
+      tile.weights.cols() != tile.out_cols.size())
+    throw std::runtime_error("QuantTwWeight::load: inconsistent quantised tile");
+  wire::check_index_vector(tile.kept_rows, k, "tile row");
+  wire::check_index_vector(tile.out_cols, n, "tile column");
+}
+
+}  // namespace
 
 QuantTwWeight::QuantTwWeight(const MatrixF& weights, const TilePattern& pattern)
     : QuantTwWeight(compact_tiles(weights, pattern), pattern.k, pattern.n) {}
@@ -19,35 +33,64 @@ QuantTwWeight::QuantTwWeight(std::vector<QuantMaskedTile> tiles, std::size_t k,
                              std::size_t n)
     : PackedWeight(k, n), tiles_(std::move(tiles)) {}
 
-void QuantTwWeight::save(std::ostream& out) const {
+void QuantTwWeight::save(std::ostream& out, wire::Layout layout) const {
   wire::write_pod<std::uint64_t>(out, tiles_.size());
   for (const QuantMaskedTile& tile : tiles_) {
     wire::write_pod<float>(out, tile.scale);
-    wire::write_vector(out, tile.kept_rows);
-    wire::write_vector(out, tile.out_cols);
-    wire::write_matrix_payload(out, tile.weights);
+    wire::write_vector(out, tile.kept_rows, layout);
+    wire::write_vector(out, tile.out_cols, layout);
+    wire::write_matrix_payload(out, tile.weights, layout);
   }
 }
 
 std::unique_ptr<QuantTwWeight> QuantTwWeight::load(std::istream& in,
                                                    std::size_t k,
-                                                   std::size_t n) {
+                                                   std::size_t n,
+                                                   wire::Layout layout) {
   const auto count = wire::read_pod<std::uint64_t>(in);
   wire::check_size_prefix(in, count, 3 * sizeof(std::uint64_t));
   std::vector<QuantMaskedTile> tiles(static_cast<std::size_t>(count));
   for (QuantMaskedTile& tile : tiles) {
     tile.scale = wire::read_pod<float>(in);
-    tile.kept_rows = wire::read_vector<std::int32_t>(in);
-    tile.out_cols = wire::read_vector<std::int32_t>(in);
-    tile.weights = wire::read_matrix_payload<std::int8_t>(in);
-    if (tile.weights.rows() != tile.kept_rows.size() ||
-        tile.weights.cols() != tile.out_cols.size())
-      throw std::runtime_error(
-          "QuantTwWeight::load: inconsistent quantised tile");
-    wire::check_index_vector(tile.kept_rows, k, "tile row");
-    wire::check_index_vector(tile.out_cols, n, "tile column");
+    tile.kept_rows = wire::read_vector<std::int32_t>(in, layout);
+    tile.out_cols = wire::read_vector<std::int32_t>(in, layout);
+    tile.weights = wire::read_matrix_payload<std::int8_t>(in, layout);
+    check_quant_tile(tile, k, n);
   }
   return std::make_unique<QuantTwWeight>(std::move(tiles), k, n);
+}
+
+std::unique_ptr<QuantTwWeight> QuantTwWeight::load_view(MappedArtifact& in,
+                                                        std::size_t k,
+                                                        std::size_t n) {
+  const auto count = in.pod<std::uint64_t>();
+  if (count > in.remaining() / (3 * sizeof(std::uint64_t)))
+    in.fail("quantised tile count exceeds remaining payload");
+  std::vector<QuantMaskedTile> tiles(static_cast<std::size_t>(count));
+  for (QuantMaskedTile& tile : tiles) {
+    tile.scale = in.pod<float>();
+    const ConstSpan<std::int32_t> kept_rows = in.array<std::int32_t>();
+    const ConstSpan<std::int32_t> out_cols = in.array<std::int32_t>();
+    // Index vectors are a few percent of the payload; copy them so
+    // grouping/slicing code keeps plain vectors.
+    tile.kept_rows.assign(kept_rows.begin(), kept_rows.end());
+    tile.out_cols.assign(out_cols.begin(), out_cols.end());
+    const auto rows = in.pod<std::uint64_t>();
+    const auto cols = in.pod<std::uint64_t>();
+    if (rows != tile.kept_rows.size() || cols != tile.out_cols.size())
+      throw std::runtime_error(
+          "QuantTwWeight::load: inconsistent quantised tile");
+    if (cols != 0 && rows > in.remaining() / cols)
+      in.fail("quantised tile payload exceeds remaining payload");
+    const ConstSpan<std::int8_t> panel = in.span<std::int8_t>(rows * cols);
+    tile.weights = MatrixI8::borrowed(panel.data(),
+                                      static_cast<std::size_t>(rows),
+                                      static_cast<std::size_t>(cols));
+    check_quant_tile(tile, k, n);
+  }
+  auto weight = std::make_unique<QuantTwWeight>(std::move(tiles), k, n);
+  weight->set_storage_keepalive(in.keepalive());
+  return weight;
 }
 
 MatrixF QuantTwWeight::to_dense() const {

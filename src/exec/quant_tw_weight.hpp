@@ -17,6 +17,8 @@
 
 namespace tilesparse {
 
+class MappedArtifact;
+
 class QuantTwWeight final : public PackedWeight {
  public:
   /// Packs and quantises `weights` (K x N, already pruned) under
@@ -33,11 +35,21 @@ class QuantTwWeight final : public PackedWeight {
 
   /// Deserializes a payload written by save(): the int8 tiles *with
   /// their per-tile scales* — loading never re-quantises (which would
-  /// shift results between the train and serve sides).
+  /// shift results between the train and serve sides).  The payload is
+  /// headerless, so the container's wire layout must be threaded in.
   static std::unique_ptr<QuantTwWeight> load(std::istream& in, std::size_t k,
-                                             std::size_t n);
+                                             std::size_t n,
+                                             wire::Layout layout);
 
-  void save(std::ostream& out) const override;
+  /// Zero-copy load: each tile's int8 weight matrix borrows the
+  /// mapping in place, and quant_tw_gemm executes directly on the
+  /// borrowed tiles — the only backend that is zero-copy at execution
+  /// for its entire weight payload (no private repack).
+  static std::unique_ptr<QuantTwWeight> load_view(MappedArtifact& in,
+                                                  std::size_t k,
+                                                  std::size_t n);
+
+  void save(std::ostream& out, wire::Layout layout = {}) const override;
   MatrixF to_dense() const override;
   std::size_t bytes() const noexcept override;
   double macs(std::size_t m) const noexcept override;

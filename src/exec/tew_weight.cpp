@@ -4,6 +4,7 @@
 
 #include "exec/tw_weight.hpp"
 #include "gemm/masked_gemm.hpp"
+#include "io/mmap_file.hpp"
 #include "io/serialize.hpp"
 #include "io/wire.hpp"
 
@@ -14,9 +15,16 @@ TewWeight::TewWeight(const MatrixF& weights, const TilePattern& pattern,
     : TewWeight(build_tew(weights, pattern, scores, delta)) {}
 
 TewWeight::TewWeight(TewMatrix tew)
-    : PackedWeight(tew.k, tew.n),
-      tew_(std::move(tew)),
-      panels_(prepack_all_tile_panels(tew_.tiles)) {}
+    : TewWeight(tew.k, tew.n, std::move(tew.pattern), std::move(tew.tiles),
+                CscStore(std::move(tew.remainder))) {}
+
+TewWeight::TewWeight(std::size_t k, std::size_t n, TilePattern pattern,
+                     std::vector<MaskedTile> tiles, CscStore remainder)
+    : PackedWeight(k, n),
+      pattern_(std::move(pattern)),
+      tiles_(std::move(tiles)),
+      remainder_(std::move(remainder)),
+      panels_(prepack_all_tile_panels(tiles_)) {}
 
 namespace {
 
@@ -46,12 +54,27 @@ TilePattern slice_pattern_cols(const TilePattern& pattern, std::size_t n0,
   return out;
 }
 
+/// Shared shape/index validation for both load paths.
+void check_tew_payload(const TilePattern& pattern,
+                       const std::vector<MaskedTile>& tiles,
+                       std::size_t remainder_rows, std::size_t remainder_cols,
+                       std::size_t k, std::size_t n) {
+  if (pattern.k != k || pattern.n != n || remainder_rows != k ||
+      remainder_cols != n || tiles.size() != pattern.tiles.size())
+    throw std::runtime_error(
+        "TewWeight::load: payload shape disagrees with artifact header");
+  for (const MaskedTile& tile : tiles) {
+    wire::check_index_vector(tile.kept_rows, k, "tile row");
+    wire::check_index_vector(tile.out_cols, n, "tile column");
+  }
+}
+
 }  // namespace
 
-void TewWeight::save(std::ostream& out) const {
-  write_pattern(out, tew_.pattern);
-  write_tiles(out, tew_.tiles);
-  write_csc(out, tew_.remainder);
+void TewWeight::save(std::ostream& out, wire::Layout layout) const {
+  write_pattern(out, pattern_, layout);
+  write_tiles(out, tiles_, layout);
+  write_csc(out, remainder_.ref(), layout);
 }
 
 std::unique_ptr<TewWeight> TewWeight::load(std::istream& in, std::size_t k,
@@ -62,32 +85,50 @@ std::unique_ptr<TewWeight> TewWeight::load(std::istream& in, std::size_t k,
   tew.pattern = read_pattern(in);
   tew.tiles = read_tiles(in);
   tew.remainder = read_csc(in);
-  if (tew.pattern.k != k || tew.pattern.n != n ||
-      tew.remainder.rows != k || tew.remainder.cols != n ||
-      tew.tiles.size() != tew.pattern.tiles.size())
-    throw std::runtime_error(
-        "TewWeight::load: payload shape disagrees with artifact header");
-  for (const MaskedTile& tile : tew.tiles) {
-    wire::check_index_vector(tile.kept_rows, k, "tile row");
-    wire::check_index_vector(tile.out_cols, n, "tile column");
-  }
+  check_tew_payload(tew.pattern, tew.tiles, tew.remainder.rows,
+                    tew.remainder.cols, k, n);
   return std::make_unique<TewWeight>(std::move(tew));
+}
+
+std::unique_ptr<TewWeight> TewWeight::load_view(MappedArtifact& in,
+                                                std::size_t k, std::size_t n) {
+  TilePattern pattern = read_pattern(in);
+  std::vector<MaskedTile> tiles = read_tiles(in);
+  CscStore remainder = read_csc(in);
+  check_tew_payload(pattern, tiles, remainder.rows, remainder.cols, k, n);
+  auto weight = std::unique_ptr<TewWeight>(
+      new TewWeight(k, n, std::move(pattern), std::move(tiles),
+                    std::move(remainder)));
+  weight->set_storage_keepalive(in.keepalive());
+  return weight;
+}
+
+MatrixF TewWeight::to_dense() const {
+  MatrixF dense = tiles_to_dense(tiles_, k(), n());
+  const CscRef rem = remainder_.ref();
+  for (std::size_t c = 0; c < rem.cols; ++c) {
+    for (auto i = rem.col_ptr[c]; i < rem.col_ptr[c + 1]; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      dense(static_cast<std::size_t>(rem.row_idx[idx]), c) += rem.values[idx];
+    }
+  }
+  return dense;
 }
 
 std::size_t TewWeight::bytes() const noexcept {
   std::size_t total = 0;
-  for (const auto& tile : tew_.tiles)
+  for (const auto& tile : tiles_)
     total += masked_tile_bytes(tile, sizeof(float));
-  total += tew_.remainder.values.size() * sizeof(float) +
-           tew_.remainder.row_idx.size() * sizeof(std::int32_t) +
-           tew_.remainder.col_ptr.size() * sizeof(std::int64_t);
+  total += remainder_.values.size() * sizeof(float) +
+           remainder_.row_idx.size() * sizeof(std::int32_t) +
+           remainder_.col_ptr.size() * sizeof(std::int64_t);
   return total;
 }
 
 double TewWeight::macs(std::size_t m) const noexcept {
   double total = static_cast<double>(m) *
-                 static_cast<double>(tew_.remainder.nnz());
-  for (const auto& tile : tew_.tiles) {
+                 static_cast<double>(remainder_.nnz());
+  for (const auto& tile : tiles_) {
     total += static_cast<double>(m) *
              static_cast<double>(tile.kept_rows.size()) *
              static_cast<double>(tile.out_cols.size());
@@ -100,11 +141,11 @@ std::unique_ptr<PackedWeight> TewWeight::shard_cols(std::size_t n0,
   if (n0 >= n1 || n1 > n())
     throw std::invalid_argument("TewWeight::shard_cols: bad column range");
   TewMatrix slice;
-  slice.k = tew_.k;
+  slice.k = k();
   slice.n = n1 - n0;
-  slice.pattern = slice_pattern_cols(tew_.pattern, n0, n1);
-  slice.tiles = slice_masked_tiles(tew_.tiles, n0, n1);
-  slice.remainder = slice_csc_cols(tew_.remainder, n0, n1);
+  slice.pattern = slice_pattern_cols(pattern_, n0, n1);
+  slice.tiles = slice_masked_tiles(tiles_, n0, n1);
+  slice.remainder = slice_csc_cols(remainder_.ref(), n0, n1);
   return std::make_unique<TewWeight>(std::move(slice));
 }
 
@@ -112,8 +153,8 @@ void TewWeight::accumulate(const ExecContext& ctx, const MatrixF& a,
                            MatrixF& c) const {
   // fp16 applies to the TW part only (same semantics as tew_matmul): on
   // the GPU the EW remainder runs on CUDA cores in fp32.
-  masked_gemm_all(a, tew_.tiles, c, ctx.fp16(), &panels_);
-  csc_gemm_accumulate(a, tew_.remainder, c);
+  masked_gemm_all(a, tiles_, c, ctx.fp16(), &panels_);
+  csc_gemm_accumulate(a, remainder_.ref(), c);
 }
 
 }  // namespace tilesparse

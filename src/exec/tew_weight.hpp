@@ -7,11 +7,16 @@
 
 #include <iosfwd>
 #include <memory>
+#include <vector>
 
 #include "core/tew.hpp"
 #include "exec/packed_weight.hpp"
+#include "exec/weight_storage.hpp"
+#include "gemm/masked_gemm.hpp"
 
 namespace tilesparse {
+
+class MappedArtifact;
 
 class TewWeight final : public PackedWeight {
  public:
@@ -29,8 +34,15 @@ class TewWeight final : public PackedWeight {
   static std::unique_ptr<TewWeight> load(std::istream& in, std::size_t k,
                                          std::size_t n);
 
-  void save(std::ostream& out) const override;
-  MatrixF to_dense() const override { return tew_to_dense(tew_); }
+  /// Zero-copy load: tile weight matrices and the CSC remainder's
+  /// index/value arrays borrow the mapping in place.  The remainder is
+  /// genuinely zero-copy at execution too — csc_gemm_accumulate runs
+  /// directly on the borrowed arrays.
+  static std::unique_ptr<TewWeight> load_view(MappedArtifact& in,
+                                              std::size_t k, std::size_t n);
+
+  void save(std::ostream& out, wire::Layout layout = {}) const override;
+  MatrixF to_dense() const override;
   std::size_t bytes() const noexcept override;
   double macs(std::size_t m) const noexcept override;
   std::string_view format() const noexcept override { return "tew"; }
@@ -43,7 +55,9 @@ class TewWeight final : public PackedWeight {
   std::unique_ptr<PackedWeight> shard_cols(std::size_t n0,
                                            std::size_t n1) const override;
 
-  const TewMatrix& decomposition() const noexcept { return tew_; }
+  const TilePattern& pattern() const noexcept { return pattern_; }
+  const std::vector<MaskedTile>& tiles() const noexcept { return tiles_; }
+  const CscStore& remainder() const noexcept { return remainder_; }
 
  protected:
   void accumulate(const ExecContext& ctx, const MatrixF& a,
@@ -51,7 +65,15 @@ class TewWeight final : public PackedWeight {
   bool native_fp16() const noexcept override { return true; }
 
  private:
-  TewMatrix tew_;
+  TewWeight(std::size_t k, std::size_t n, TilePattern pattern,
+            std::vector<MaskedTile> tiles, CscStore remainder);
+
+  // The decomposition in owning-or-borrowing form (the TewMatrix ctor
+  // moves its parts in): pattern + compacted TW tiles + the
+  // element-wise CSC remainder.
+  TilePattern pattern_;
+  std::vector<MaskedTile> tiles_;
+  CscStore remainder_;
   /// B panels for the TW part, pre-packed at construction.
   std::vector<TilePanels> panels_;
 };

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "io/mmap_file.hpp"
 #include "io/serialize.hpp"
 #include "io/wire.hpp"
 
@@ -46,7 +47,9 @@ TwWeight::TwWeight(std::vector<MaskedTile> tiles, std::size_t k, std::size_t n)
       groups_(groups_from_tiles(tiles_)),
       panels_(prepack_all_tile_panels(tiles_)) {}
 
-void TwWeight::save(std::ostream& out) const { write_tiles(out, tiles_); }
+void TwWeight::save(std::ostream& out, wire::Layout layout) const {
+  write_tiles(out, tiles_, layout);
+}
 
 std::unique_ptr<TwWeight> TwWeight::load(std::istream& in, std::size_t k,
                                          std::size_t n) {
@@ -56,6 +59,18 @@ std::unique_ptr<TwWeight> TwWeight::load(std::istream& in, std::size_t k,
     wire::check_index_vector(tile.out_cols, n, "tile column");
   }
   return std::make_unique<TwWeight>(std::move(tiles), k, n);
+}
+
+std::unique_ptr<TwWeight> TwWeight::load_view(MappedArtifact& in,
+                                              std::size_t k, std::size_t n) {
+  std::vector<MaskedTile> tiles = read_tiles(in);
+  for (const MaskedTile& tile : tiles) {
+    wire::check_index_vector(tile.kept_rows, k, "tile row");
+    wire::check_index_vector(tile.out_cols, n, "tile column");
+  }
+  auto weight = std::make_unique<TwWeight>(std::move(tiles), k, n);
+  weight->set_storage_keepalive(in.keepalive());
+  return weight;
 }
 
 MatrixF TwWeight::to_dense() const { return tiles_to_dense(tiles_, k(), n()); }

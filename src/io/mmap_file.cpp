@@ -1,0 +1,55 @@
+#include "io/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tilesparse {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& path, const char* what) {
+  throw std::runtime_error("tilesparse::io: " + std::string(what) + " '" +
+                           path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+MmapFile::MmapFile(const std::string& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail_errno(path, "cannot open");
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno(path, "cannot stat");
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    throw std::runtime_error("tilesparse::io: '" + path +
+                             "' is empty — not an artifact");
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  // MAP_SHARED + PROT_READ: every process mapping this artifact shares
+  // the same page-cache pages; nothing here can dirty them.
+  void* p = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  const int saved = errno;
+  ::close(fd);  // the mapping holds its own reference to the file
+  if (p == MAP_FAILED) {
+    errno = saved;
+    fail_errno(path, "cannot mmap");
+  }
+  data_ = static_cast<const std::byte*>(p);
+  size_ = size;
+}
+
+MmapFile::~MmapFile() {
+  if (data_) ::munmap(const_cast<std::byte*>(data_), size_);
+}
+
+}  // namespace tilesparse

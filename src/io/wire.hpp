@@ -17,6 +17,7 @@
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
@@ -34,7 +35,30 @@ static_assert(std::endian::native == std::endian::little,
 // dispatch (exec/backend_registry).
 inline constexpr std::uint32_t kMagicPackedWeight = 0x54535057;  // "TSPW"
 inline constexpr std::uint32_t kMagicModelWeights = 0x54534d57;  // "TSMW"
-inline constexpr std::uint32_t kContainerVersion = 1;
+
+// Wire-layout versions.  v1 packs payloads back to back; v2 pads every
+// bulk payload (dense panels, tile matrices, CSR/CSC index + value
+// arrays, int8 tiles) out to a 64-byte aligned absolute file offset, so
+// an mmap of the artifact can hand the arrays to the kernels in place
+// (io/mmap_file.hpp).  Writers emit v2; stream readers accept both.
+inline constexpr std::uint32_t kContainerVersionV1 = 1;
+inline constexpr std::uint32_t kContainerVersionV2 = 2;
+inline constexpr std::uint32_t kContainerVersion = kContainerVersionV2;
+
+/// Alignment of every v2 bulk payload, relative to the start of the
+/// file.  64 covers the strictest element type and matches the cache
+/// line the GEMM micro-kernels are laid out for; mmap bases are
+/// page-aligned, so file offset == in-memory alignment.
+inline constexpr std::size_t kPayloadAlign = 64;
+
+/// Wire layout selector threaded through the writers and the
+/// headerless payload readers (dense / tw-int8 — the nested TSMF/TSTP/
+/// TSTL/TSCR/TSCC blobs carry their own version header and are
+/// self-describing).
+struct Layout {
+  std::uint32_t version = kContainerVersion;
+  bool aligned() const noexcept { return version >= kContainerVersionV2; }
+};
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
@@ -81,19 +105,62 @@ inline void check_size_prefix(std::istream& in, std::uint64_t count,
         "tilesparse::io: corrupt size prefix (larger than the artifact)");
 }
 
+/// Zero-pads `out` so the next byte lands on a kPayloadAlign boundary
+/// (absolute file offset).  v2 writers call this before every bulk
+/// payload; requires a positioned stream (files, string streams).
+inline void pad_to_alignment(std::ostream& out) {
+  const auto pos = out.tellp();
+  if (pos == std::ostream::pos_type(-1))
+    throw std::runtime_error(
+        "tilesparse::io: aligned (v2) artifacts need a positioned stream");
+  const auto rem = static_cast<std::size_t>(
+      static_cast<std::uint64_t>(pos) % kPayloadAlign);
+  if (rem == 0) return;
+  static constexpr char kZeros[kPayloadAlign] = {};
+  out.write(kZeros, static_cast<std::streamsize>(kPayloadAlign - rem));
+}
+
+/// Consumes the padding pad_to_alignment wrote.  Pad bytes are skipped,
+/// not validated — their content carries no information.
+inline void skip_alignment(std::istream& in) {
+  const auto pos = in.tellg();
+  if (pos == std::istream::pos_type(-1))
+    throw std::runtime_error(
+        "tilesparse::io: aligned (v2) artifacts need a positioned stream");
+  const auto rem = static_cast<std::size_t>(
+      static_cast<std::uint64_t>(pos) % kPayloadAlign);
+  if (rem == 0) return;
+  const auto pad = static_cast<std::streamsize>(kPayloadAlign - rem);
+  in.ignore(pad);
+  if (in.gcount() != pad)
+    throw std::runtime_error("tilesparse::io: short read");
+}
+
+/// Size-prefixed array write from any contiguous storage (vectors and
+/// the owning-or-borrowing ArrayStore spans serialize identically).
 template <typename T>
-void write_vector(std::ostream& out, const std::vector<T>& v) {
+void write_span(std::ostream& out, std::span<const T> v, Layout layout = {}) {
   static_assert(std::is_trivially_copyable_v<T>);
   write_pod<std::uint64_t>(out, v.size());
+  if (layout.aligned()) pad_to_alignment(out);
   if (!v.empty())
     out.write(reinterpret_cast<const char*>(v.data()),
               static_cast<std::streamsize>(v.size() * sizeof(T)));
 }
 
 template <typename T>
-std::vector<T> read_vector(std::istream& in) {
+void write_vector(std::ostream& out, const std::vector<T>& v,
+                  Layout layout = {}) {
+  write_span<T>(out, std::span<const T>(v), layout);
+}
+
+/// `layout` comes from the enclosing header — readers never assume a
+/// version, so there is deliberately no default here.
+template <typename T>
+std::vector<T> read_vector(std::istream& in, Layout layout) {
   const auto size = read_pod<std::uint64_t>(in);
   check_size_prefix(in, size, sizeof(T));
+  if (layout.aligned()) skip_alignment(in);
   std::vector<T> v(static_cast<std::size_t>(size));
   if (size > 0) {
     in.read(reinterpret_cast<char*>(v.data()),
@@ -123,21 +190,25 @@ inline std::string read_string(std::istream& in) {
 /// enclosing object provides it).  Works for any trivially copyable
 /// element type (float tiles, int8 quantised tiles, u8 masks).
 template <typename T>
-void write_matrix_payload(std::ostream& out, const Matrix<T>& m) {
+void write_matrix_payload(std::ostream& out, const Matrix<T>& m,
+                          Layout layout = {}) {
   write_pod<std::uint64_t>(out, m.rows());
   write_pod<std::uint64_t>(out, m.cols());
+  if (layout.aligned()) pad_to_alignment(out);
   if (!m.empty())
     out.write(reinterpret_cast<const char*>(m.data()),
               static_cast<std::streamsize>(m.size() * sizeof(T)));
 }
 
+/// `layout` comes from the enclosing header, like read_vector's.
 template <typename T>
-Matrix<T> read_matrix_payload(std::istream& in) {
+Matrix<T> read_matrix_payload(std::istream& in, Layout layout) {
   const auto rows = read_pod<std::uint64_t>(in);
   const auto cols = read_pod<std::uint64_t>(in);
   if (cols != 0 && rows > std::numeric_limits<std::uint64_t>::max() / cols)
     throw std::runtime_error("tilesparse::io: corrupt matrix shape");
   check_size_prefix(in, rows * cols, sizeof(T));
+  if (layout.aligned()) skip_alignment(in);
   Matrix<T> m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
   if (!m.empty()) {
     in.read(reinterpret_cast<char*>(m.data()),
@@ -150,7 +221,7 @@ Matrix<T> read_matrix_payload(std::istream& in) {
 /// Index-vector sanity shared by the tile loaders: strictly ascending
 /// and within [0, limit).  Throws std::runtime_error — a file is never
 /// trusted.
-inline void check_index_vector(const std::vector<std::int32_t>& indices,
+inline void check_index_vector(std::span<const std::int32_t> indices,
                                std::size_t limit, const char* what) {
   std::int64_t prev = -1;
   for (const std::int32_t idx : indices) {

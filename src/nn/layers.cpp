@@ -128,8 +128,10 @@ void save_packed_linear_layers(const std::string& path,
 
 void load_packed_linear_layers(const std::string& path,
                                const std::vector<Linear*>& layers,
-                               const ExecContext& ctx) {
-  std::vector<NamedWeight> loaded = load_model_weights(path);
+                               const ExecContext& ctx, ArtifactLoad mode) {
+  std::vector<NamedWeight> loaded = mode == ArtifactLoad::kMapped
+                                        ? load_model_weights_mapped(path)
+                                        : load_model_weights(path);
   std::unordered_map<std::string, NamedWeight*> by_name;
   for (NamedWeight& entry : loaded) by_name[entry.name] = &entry;
   // Resolve and shape-check every layer before installing anything, so

@@ -111,13 +111,23 @@ void clear_packed_linear_layers(const std::vector<Linear*>& layers);
 void save_packed_linear_layers(const std::string& path,
                                const std::vector<Linear*>& layers);
 
+/// How a model artifact's bytes reach the execution backends.
+enum class ArtifactLoad {
+  kStream,  ///< read every payload into owned storage (v1 and v2 files)
+  kMapped,  ///< mmap the file; backends borrow bulk payloads in place
+            ///< (v2 files only; the mapping lives as long as the weights)
+};
+
 /// Loads a model artifact into `layers`: each layer adopts the entry
 /// matching its weight name (throws std::runtime_error when one is
 /// missing) and installs `ctx`.  Serving starts straight from the
-/// artifact — no re-packing or re-quantising.
+/// artifact — no re-packing or re-quantising.  With
+/// ArtifactLoad::kMapped the weights share the page cache with every
+/// other process mapping the same file.
 void load_packed_linear_layers(const std::string& path,
                                const std::vector<Linear*>& layers,
-                               const ExecContext& ctx = {});
+                               const ExecContext& ctx = {},
+                               ArtifactLoad mode = ArtifactLoad::kStream);
 
 class ReLU : public Layer {
  public:

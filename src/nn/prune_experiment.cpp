@@ -249,20 +249,21 @@ void export_packed_weights(PruneTask& task, const std::string& format,
 }
 
 double evaluate_from_artifact(PruneTask& task, const std::string& path,
-                              const ExecContext& ctx) {
+                              const ExecContext& ctx, ArtifactLoad mode) {
   const std::vector<Linear*> layers = task.packed_layers();
   if (layers.empty()) {
     throw std::logic_error("evaluate_from_artifact: task '" + task.name() +
                            "' has no layer-level packed execution path");
   }
   PackedEvalScope scope(task);
-  load_packed_linear_layers(path, layers, ctx);
+  load_packed_linear_layers(path, layers, ctx, mode);
   return task.evaluate();
 }
 
 double evaluate_from_artifact(PruneTask& task, const std::string& path,
                               const ExecContext& ctx,
-                              const SchedulerOptions& scheduler_options) {
+                              const SchedulerOptions& scheduler_options,
+                              ArtifactLoad mode) {
   const std::vector<Linear*> layers = task.packed_layers();
   if (layers.empty()) {
     throw std::logic_error("evaluate_from_artifact: task '" + task.name() +
@@ -272,7 +273,7 @@ double evaluate_from_artifact(PruneTask& task, const std::string& path,
   PackedEvalScope scope(task);
   // Load before attaching: the model builds its graph lazily on the
   // next forward, over the backends the artifact just installed.
-  load_packed_linear_layers(path, layers, ctx);
+  load_packed_linear_layers(path, layers, ctx, mode);
   task.set_exec_scheduler(&scheduler);
   return task.evaluate();
 }

@@ -17,6 +17,7 @@
 #include "core/tile_pattern.hpp"
 #include "exec/exec_context.hpp"
 #include "exec/scheduler.hpp"
+#include "nn/layers.hpp"
 #include "nn/param.hpp"
 
 namespace tilesparse {
@@ -139,15 +140,18 @@ void export_packed_weights(PruneTask& task, const std::string& format,
 /// The serving-side half: loads the artifact written by
 /// export_packed_weights straight into the task's layers — no
 /// re-pruning, re-packing or re-quantising — evaluates end-to-end, and
-/// restores dense execution.
+/// restores dense execution.  `mode` selects stream vs zero-copy mmap
+/// loading (nn/layers.hpp ArtifactLoad); results are bit-identical.
 double evaluate_from_artifact(PruneTask& task, const std::string& path,
-                              const ExecContext& ctx = {});
+                              const ExecContext& ctx = {},
+                              ArtifactLoad mode = ArtifactLoad::kStream);
 
 /// Graph-scheduled variant of evaluate_from_artifact: the loaded
 /// backends serve through the model's execution graph.
 double evaluate_from_artifact(PruneTask& task, const std::string& path,
                               const ExecContext& ctx,
-                              const SchedulerOptions& scheduler_options);
+                              const SchedulerOptions& scheduler_options,
+                              ArtifactLoad mode = ArtifactLoad::kStream);
 
 // ----------------------------------------------------------------- tasks
 

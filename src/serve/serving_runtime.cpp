@@ -10,6 +10,27 @@
 
 namespace tilesparse::serve {
 
+std::shared_ptr<const SharedModel> SharedModel::load(const std::string& path) {
+  auto model = std::make_shared<SharedModel>();
+  model->path = path;
+  model->weights = load_model_weights(path);
+  return model;
+}
+
+std::shared_ptr<const SharedModel> SharedModel::load_mapped(
+    const std::string& path) {
+  auto model = std::make_shared<SharedModel>();
+  model->path = path;
+  model->weights = load_model_weights_mapped(path);
+  return model;
+}
+
+const PackedWeight* SharedModel::find(std::string_view name) const noexcept {
+  for (const NamedWeight& entry : weights)
+    if (entry.name == name) return entry.weight.get();
+  return nullptr;
+}
+
 struct ServingRuntime::Counters {
   std::atomic<std::uint64_t> submitted{0};
   std::atomic<std::uint64_t> admitted{0};
@@ -193,8 +214,12 @@ void ServingRuntime::serve_one(Worker& worker, std::size_t worker_id,
     worker.cancel.reset(item->deadline);
     ExecScheduler& scheduler =
         degraded ? *worker.fallback : *worker.primary;
+    // Pin the attached model for this attempt: a concurrent
+    // attach_model must not destroy storage (possibly a borrowed mmap)
+    // the work callable is executing against.
+    const std::shared_ptr<const SharedModel> pinned_model = model();
     WorkerContext context{scheduler, worker.cancel, worker_id, attempt,
-                          degraded};
+                          degraded, pinned_model.get()};
     bool validation_failure = false;
     try {
       response.result = item->request.work(context);
@@ -303,6 +328,16 @@ ServingRuntime::Stats ServingRuntime::stats() const {
   stats.retries = counters_->retries.load(std::memory_order_relaxed);
   stats.degraded_ok = counters_->degraded_ok.load(std::memory_order_relaxed);
   return stats;
+}
+
+void ServingRuntime::attach_model(std::shared_ptr<const SharedModel> model) {
+  const std::lock_guard<std::mutex> lock(model_mutex_);
+  model_ = std::move(model);
+}
+
+std::shared_ptr<const SharedModel> ServingRuntime::model() const {
+  const std::lock_guard<std::mutex> lock(model_mutex_);
+  return model_;
 }
 
 }  // namespace tilesparse::serve

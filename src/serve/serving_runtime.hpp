@@ -42,12 +42,34 @@
 #include <vector>
 
 #include "exec/scheduler.hpp"
+#include "io/serialize.hpp"
 #include "serve/admission_queue.hpp"
 #include "serve/request.hpp"
 #include "util/cancellation.hpp"
 #include "util/threadpool.hpp"
 
 namespace tilesparse::serve {
+
+/// An immutable model — named PackedWeights loaded from one deployment
+/// artifact — shared read-only by every worker of a runtime (and, via
+/// load_mapped, by every *process* serving the same file: the bulk
+/// payloads borrow a shared read-only mmap, so N serving processes cost
+/// one physical copy of the weights between them; see
+/// examples/shared_weights.cpp for the measurement).
+struct SharedModel {
+  std::string path;
+  std::vector<NamedWeight> weights;
+
+  /// Stream-loads the artifact into owned storage (accepts v1 and v2).
+  static std::shared_ptr<const SharedModel> load(const std::string& path);
+  /// Zero-copy load: maps the artifact and borrows bulk payloads in
+  /// place (v2 only).  The mapping lives as long as the model.
+  static std::shared_ptr<const SharedModel> load_mapped(
+      const std::string& path);
+
+  /// Weight by layer name; null when absent.
+  const PackedWeight* find(std::string_view name) const noexcept;
+};
 
 struct ServingOptions {
   /// Serving workers; each owns a private ThreadPool sized for
@@ -89,6 +111,9 @@ struct WorkerContext {
   /// True on the serial fallback path (after an overlapped-path fault
   /// or validation failure, or always once streams == 1 retries).
   bool degraded = false;
+  /// The runtime's attached model (attach_model), or null when none is
+  /// attached.  Valid for the duration of the work callable.
+  const SharedModel* model = nullptr;
 };
 
 class ServingRuntime {
@@ -143,6 +168,14 @@ class ServingRuntime {
   const ServingOptions& options() const noexcept { return options_; }
   std::size_t queue_depth() const { return queue_->size(); }
 
+  /// Attaches (or, with null, detaches) the model requests see as
+  /// WorkerContext::model.  Thread-safe; requests already running keep
+  /// the model they started with — the runtime pins it per attempt, so
+  /// hot-swapping an artifact never pulls borrowed mmap storage out
+  /// from under in-flight work.
+  void attach_model(std::shared_ptr<const SharedModel> model);
+  std::shared_ptr<const SharedModel> model() const;
+
  private:
   struct Item {
     Request request;
@@ -174,6 +207,8 @@ class ServingRuntime {
   std::atomic<std::uint64_t> next_id_{1};
   std::mutex shutdown_mutex_;
   bool shut_down_ = false;
+  mutable std::mutex model_mutex_;
+  std::shared_ptr<const SharedModel> model_;
 };
 
 }  // namespace tilesparse::serve

@@ -24,7 +24,7 @@ Csc csc_from_dense(const MatrixF& dense, float tol) {
   return out;
 }
 
-MatrixF csc_to_dense(const Csc& m) {
+MatrixF csc_to_dense(const CscRef& m) {
   MatrixF dense(m.rows, m.cols);
   for (std::size_t c = 0; c < m.cols; ++c) {
     for (auto i = m.col_ptr[c]; i < m.col_ptr[c + 1]; ++i) {
@@ -35,7 +35,7 @@ MatrixF csc_to_dense(const Csc& m) {
   return dense;
 }
 
-void csc_gemm_accumulate(const MatrixF& a, const Csc& b, MatrixF& c) {
+void csc_gemm_accumulate(const MatrixF& a, const CscRef& b, MatrixF& c) {
   assert(a.cols() == b.rows);
   assert(c.rows() == a.rows() && c.cols() == b.cols);
   const std::size_t m = a.rows();
@@ -51,7 +51,7 @@ void csc_gemm_accumulate(const MatrixF& a, const Csc& b, MatrixF& c) {
   }
 }
 
-Csc slice_csc_cols(const Csc& m, std::size_t n0, std::size_t n1) {
+Csc slice_csc_cols(const CscRef& m, std::size_t n0, std::size_t n1) {
   assert(n0 < n1 && n1 <= m.cols);
   Csc out;
   out.rows = m.rows;

@@ -5,11 +5,25 @@
 // sparse GEMM on the CUDA cores.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "tensor/matrix.hpp"
 
 namespace tilesparse {
+
+/// Non-owning view of a CSC matrix — what the kernels consume.  The
+/// arrays may be owned (Csc) or borrowed from an mmap'd artifact; the
+/// viewer guarantees their lifetime.
+struct CscRef {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::span<const std::int64_t> col_ptr;  ///< size cols + 1
+  std::span<const std::int32_t> row_idx;  ///< size nnz, ascending in a column
+  std::span<const float> values;          ///< size nnz
+
+  std::size_t nnz() const noexcept { return values.size(); }
+};
 
 struct Csc {
   std::size_t rows = 0;
@@ -19,20 +33,29 @@ struct Csc {
   std::vector<float> values;          ///< size nnz
 
   std::size_t nnz() const noexcept { return values.size(); }
+  CscRef ref() const noexcept { return {rows, cols, col_ptr, row_idx, values}; }
 };
 
 /// Builds CSC from a dense matrix, dropping |x| <= tol.
 Csc csc_from_dense(const MatrixF& dense, float tol = 0.0f);
 
 /// Expands back to dense.
-MatrixF csc_to_dense(const Csc& m);
+MatrixF csc_to_dense(const CscRef& m);
+inline MatrixF csc_to_dense(const Csc& m) { return csc_to_dense(m.ref()); }
 
 /// C += A(MxK dense) * B(KxN, this CSC).  Column-parallel.
-void csc_gemm_accumulate(const MatrixF& a, const Csc& b, MatrixF& c);
+void csc_gemm_accumulate(const MatrixF& a, const CscRef& b, MatrixF& c);
+inline void csc_gemm_accumulate(const MatrixF& a, const Csc& b, MatrixF& c) {
+  csc_gemm_accumulate(a, b.ref(), c);
+}
 
-/// Column slice [n0, n1) as its own CSC.  Columns are independent in
-/// the kernel above, so executing the slice is bit-identical to the
-/// same columns of the whole matrix (wide-N sharding support).
-Csc slice_csc_cols(const Csc& m, std::size_t n0, std::size_t n1);
+/// Column slice [n0, n1) as its own (owning) CSC.  Columns are
+/// independent in the kernel above, so executing the slice is
+/// bit-identical to the same columns of the whole matrix (wide-N
+/// sharding support).
+Csc slice_csc_cols(const CscRef& m, std::size_t n0, std::size_t n1);
+inline Csc slice_csc_cols(const Csc& m, std::size_t n0, std::size_t n1) {
+  return slice_csc_cols(m.ref(), n0, n1);
+}
 
 }  // namespace tilesparse

@@ -23,7 +23,7 @@ Csr csr_from_dense(const MatrixF& dense, float tol) {
   return out;
 }
 
-MatrixF csr_to_dense(const Csr& m) {
+MatrixF csr_to_dense(const CsrRef& m) {
   MatrixF dense(m.rows, m.cols);
   for (std::size_t r = 0; r < m.rows; ++r) {
     for (auto i = m.row_ptr[r]; i < m.row_ptr[r + 1]; ++i) {
@@ -34,7 +34,7 @@ MatrixF csr_to_dense(const Csr& m) {
   return dense;
 }
 
-std::size_t csr_bytes(const Csr& m) noexcept {
+std::size_t csr_bytes(const CsrRef& m) noexcept {
   return m.values.size() * sizeof(float) +
          m.col_idx.size() * sizeof(std::int32_t) +
          m.row_ptr.size() * sizeof(std::int64_t);

@@ -3,11 +3,26 @@
 // EW/VW baselines in the paper's efficiency analysis (Sec. III-B).
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "tensor/matrix.hpp"
 
 namespace tilesparse {
+
+/// Non-owning view of a CSR matrix — the shape every CSR kernel
+/// actually consumes.  The arrays may live in an owning Csr or be
+/// borrowed straight out of an mmap'd artifact (exec/weight_storage);
+/// the viewer guarantees their lifetime.
+struct CsrRef {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::span<const std::int64_t> row_ptr;  ///< size rows + 1
+  std::span<const std::int32_t> col_idx;  ///< size nnz, ascending in a row
+  std::span<const float> values;          ///< size nnz
+
+  std::size_t nnz() const noexcept { return values.size(); }
+};
 
 struct Csr {
   std::size_t rows = 0;
@@ -21,15 +36,20 @@ struct Csr {
     const double total = static_cast<double>(rows) * static_cast<double>(cols);
     return total > 0 ? static_cast<double>(nnz()) / total : 0.0;
   }
+  CsrRef ref() const noexcept { return {rows, cols, row_ptr, col_idx, values}; }
 };
 
 /// Builds CSR from a dense matrix, dropping |x| <= tol.
 Csr csr_from_dense(const MatrixF& dense, float tol = 0.0f);
 
 /// Expands back to dense (exact inverse of csr_from_dense up to dropped zeros).
-MatrixF csr_to_dense(const Csr& m);
+MatrixF csr_to_dense(const CsrRef& m);
+inline MatrixF csr_to_dense(const Csr& m) { return csr_to_dense(m.ref()); }
 
 /// Storage footprint in bytes (values + indices + pointers).
-std::size_t csr_bytes(const Csr& m) noexcept;
+std::size_t csr_bytes(const CsrRef& m) noexcept;
+inline std::size_t csr_bytes(const Csr& m) noexcept {
+  return csr_bytes(m.ref());
+}
 
 }  // namespace tilesparse

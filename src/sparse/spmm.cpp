@@ -64,7 +64,7 @@ std::size_t CsrPanels::nnz() const noexcept {
   return total;
 }
 
-CsrPanels build_csr_panels(const Csr& csr, std::size_t strip_cols) {
+CsrPanels build_csr_panels(const CsrRef& csr, std::size_t strip_cols) {
   if (strip_cols == 0) strip_cols = kDefaultStripCols;
   CsrPanels panels;
   panels.rows = csr.rows;

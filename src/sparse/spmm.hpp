@@ -59,8 +59,14 @@ struct CsrPanels {
 };
 
 /// Builds the strip layout.  strip_cols == 0 picks the default width
-/// (sized so one strip fragment of kNr rows stays L1-resident).
-CsrPanels build_csr_panels(const Csr& csr, std::size_t strip_cols = 0);
+/// (sized so one strip fragment of kNr rows stays L1-resident).  The
+/// CsrRef overload builds the same (owning) panels from borrowed
+/// arrays — mmap-loaded CsrWeights pack their execution layout without
+/// ever copying the CSR itself.
+CsrPanels build_csr_panels(const CsrRef& csr, std::size_t strip_cols = 0);
+inline CsrPanels build_csr_panels(const Csr& csr, std::size_t strip_cols = 0) {
+  return build_csr_panels(csr.ref(), strip_cols);
+}
 
 /// C += A * B over the panel layout.  Bit-identical across column
 /// shards: every output column accumulates its terms in ascending K

@@ -5,6 +5,15 @@
 // pruning algorithms and the NN layers.  It intentionally stays small:
 // owning storage + shape + a few element accessors.  Algorithms live in
 // free functions (tensor/ops.hpp) per Core Guidelines C.4.
+//
+// A Matrix either owns its storage (the default: 64-byte aligned heap
+// allocation, freed on destruction) or borrows immutable storage that
+// outlives it — the zero-copy path for weights resolved out of an
+// mmap'd artifact (io/mmap_file.hpp).  A borrowed matrix never frees;
+// copying one always deep-copies into an owning matrix, so value
+// semantics are unchanged for every existing caller.  Mutating a
+// borrowed matrix through the non-const accessors is undefined (the
+// pages are mapped read-only); callers that need to write take a copy.
 
 #include <cassert>
 #include <cstddef>
@@ -26,6 +35,19 @@ class Matrix {
     for (std::size_t i = 0; i < rows_ * cols_; ++i) data_[i] = T{};
   }
 
+  /// Non-owning view of immutable external storage (rows * cols
+  /// row-major elements at `data`, which must outlive the matrix — the
+  /// borrower holds a keepalive on the mapping, see exec backends).
+  static Matrix borrowed(const T* data, std::size_t rows,
+                         std::size_t cols) noexcept {
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.data_ = const_cast<T*>(data);
+    m.owns_ = false;
+    return m;
+  }
+
   Matrix(const Matrix& other) : Matrix(other.rows_, other.cols_) {
     for (std::size_t i = 0; i < rows_ * cols_; ++i) data_[i] = other.data_[i];
   }
@@ -33,20 +55,27 @@ class Matrix {
   Matrix(Matrix&& other) noexcept
       : rows_(std::exchange(other.rows_, 0)),
         cols_(std::exchange(other.cols_, 0)),
-        data_(std::exchange(other.data_, nullptr)) {}
+        data_(std::exchange(other.data_, nullptr)),
+        owns_(std::exchange(other.owns_, true)) {}
 
   Matrix& operator=(Matrix other) noexcept {
     swap(other);
     return *this;
   }
 
-  ~Matrix() { std::free(data_); }
+  ~Matrix() {
+    if (owns_) std::free(data_);
+  }
 
   void swap(Matrix& other) noexcept {
     std::swap(rows_, other.rows_);
     std::swap(cols_, other.cols_);
     std::swap(data_, other.data_);
+    std::swap(owns_, other.owns_);
   }
+
+  /// True when this matrix views storage it does not own.
+  bool borrows() const noexcept { return !owns_; }
 
   std::size_t rows() const noexcept { return rows_; }
   std::size_t cols() const noexcept { return cols_; }
@@ -100,6 +129,7 @@ class Matrix {
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   T* data_ = nullptr;
+  bool owns_ = true;
 };
 
 using MatrixF = Matrix<float>;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 namespace tilesparse {
 
@@ -60,6 +63,19 @@ double geomean(std::span<const double> values) noexcept {
   double log_sum = 0.0;
   for (double v : values) log_sum += std::log(v);
   return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::size_t process_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) != 0) continue;
+    std::istringstream fields(line.substr(6));
+    std::size_t kb = 0;
+    fields >> kb;
+    return kb;
+  }
+  return 0;
 }
 
 }  // namespace tilesparse

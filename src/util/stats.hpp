@@ -34,4 +34,9 @@ std::vector<double> empirical_cdf(std::span<const float> values,
 /// the cross-model average speedups quoted in Sec. VII-C.
 double geomean(std::span<const double> values) noexcept;
 
+/// This process's current resident set size in KiB (VmRSS from
+/// /proc/self/status), or 0 where procfs is unavailable.  Used by the
+/// deployment benches to report the RSS cost of stream vs mmap loads.
+std::size_t process_rss_kb();
+
 }  // namespace tilesparse

@@ -1,10 +1,13 @@
 // Fuzz harness for the deployment wire formats (io/serialize): the
 // single-weight TSPW container (read_packed_weight) and the model-level
-// TSMW artifact (read_model_weights).  These parsers consume untrusted
-// bytes at serving startup, so the contract under fuzzing is strict:
-// any input either parses or throws std::exception — no crash, no
-// sanitizer report, no unbounded allocation (sizes are validated
-// against the stream length before allocation).
+// TSMW artifact (read_model_weights), through BOTH load paths — the
+// stream readers and the zero-copy MappedArtifact parser (the input is
+// replayed from a 64-byte-aligned copy, exactly the base alignment an
+// mmap'd file gets).  These parsers consume untrusted bytes at serving
+// startup, so the contract under fuzzing is strict: any input either
+// parses or throws std::exception — no crash, no sanitizer report, no
+// misaligned span handed to a kernel, no unbounded allocation (sizes
+// are validated against the image/stream length before allocation).
 //
 // Built two ways (CMakeLists TILESPARSE_ENABLE_FUZZER):
 //  * libFuzzer (clang): LLVMFuzzerTestOneInput only; link with
@@ -16,11 +19,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <exception>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "exec/backend_registry.hpp"
+#include "io/mmap_file.hpp"
 #include "io/serialize.hpp"
 #include "tensor/matrix.hpp"
 #include "util/rng.hpp"
@@ -41,6 +47,31 @@ void fuzz_one(const std::uint8_t* data, std::size_t size) {
     std::istringstream in(bytes, std::ios::binary);
     try {
       (void)tilesparse::read_model_weights(in);
+    } catch (const std::exception&) {
+    }
+  }
+
+  // The zero-copy path: same bytes at the base alignment an mmap'd file
+  // gets.  The image is shared so borrowed weights keep it alive past
+  // the cursor (their to_dense() still reads it below).
+  const std::shared_ptr<std::byte> image(
+      static_cast<std::byte*>(
+          ::operator new(size > 0 ? size : 1, std::align_val_t{64})),
+      [](std::byte* p) { ::operator delete(p, std::align_val_t{64}); });
+  if (size > 0) std::memcpy(image.get(), data, size);
+  {
+    tilesparse::MappedArtifact in(image.get(), size, image);
+    try {
+      auto weight = tilesparse::load_packed_weight_mapped(in);
+      if (weight) (void)weight->to_dense();
+    } catch (const std::exception&) {
+    }
+  }
+  {
+    tilesparse::MappedArtifact in(image.get(), size, image);
+    try {
+      const auto model = tilesparse::read_model_weights(in);
+      for (const auto& layer : model) (void)layer.weight->to_dense();
     } catch (const std::exception&) {
     }
   }
@@ -101,7 +132,14 @@ int write_seeds(const std::filesystem::path& dir) {
   tilesparse::write_model_weights(out, layers);
   std::ofstream file(dir / "tsmw_model.bin", std::ios::binary);
   file << out.str();
-  std::cout << "wire_fuzz: wrote " << packed.size() + 1 << " seeds to " << dir
+  // One legacy-layout seed keeps the v1 stream path in the mutation
+  // pool (the mapped parser must keep rejecting its descendants).
+  std::ostringstream v1(std::ios::binary);
+  tilesparse::write_model_weights(
+      v1, layers, tilesparse::wire::Layout{tilesparse::wire::kContainerVersionV1});
+  std::ofstream v1_file(dir / "tsmw_model_v1.bin", std::ios::binary);
+  v1_file << v1.str();
+  std::cout << "wire_fuzz: wrote " << packed.size() + 2 << " seeds to " << dir
             << "\n";
   return 0;
 }
