@@ -61,39 +61,44 @@ std::size_t ExecScheduler::shard_count(const ExecGraph::Node& node) const {
   return std::max<std::size_t>(1, std::min({streams, by_cost, by_cols}));
 }
 
-void ExecScheduler::prepare(ExecGraph& graph) {
+ExecScheduler::Plan& ExecScheduler::prepare(ExecGraph& graph) {
   const auto& nodes = graph.nodes();
-  if (planned_build_id_ == graph.build_id() &&
-      planned_node_count_ == nodes.size() && planned_streams_ == streams()) {
-    return;
+  for (auto& cached : plan_cache_) {
+    if (cached->build_id == graph.build_id() &&
+        cached->node_count == nodes.size() && cached->streams == streams()) {
+      cached->last_used = ++plan_stamp_;
+      return *cached;
+    }
   }
-  plans_.clear();
-  plans_.resize(nodes.size());
-  planned_sharded_nodes_ = 0;
-  planned_shards_ = 0;
+
+  // Miss: build a fresh plan, evicting the least-recently-used entry
+  // once the cache is full.
+  auto fresh = std::make_unique<Plan>();
+  Plan& plan = *fresh;
+  plan.node_plans.resize(nodes.size());
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     const std::size_t count = shard_count(nodes[i]);
     if (count < 2) continue;
     const std::size_t n = nodes[i].weight->n();
     const std::size_t base = n / count, rem = n % count;
     std::size_t n0 = 0;
-    plans_[i].shards.reserve(count);
+    plan.node_plans[i].shards.reserve(count);
     for (std::size_t s = 0; s < count; ++s) {
       const std::size_t n1 = n0 + base + (s < rem ? 1 : 0);
       Shard shard;
       shard.weight = nodes[i].weight->shard_cols(n0, n1);
       shard.n0 = n0;
       shard.n1 = n1;
-      plans_[i].shards.push_back(std::move(shard));
+      plan.node_plans[i].shards.push_back(std::move(shard));
       n0 = n1;
     }
-    if (options_.validate && !plans_[i].shards.empty()) {
+    if (options_.validate && !plan.node_plans[i].shards.empty()) {
       // Audit the *actual* plan, not a re-derivation: the slices above
       // are what will execute, so a shard_cols implementation that
       // mis-shapes a slice is caught before it computes a single MAC.
       std::vector<std::pair<std::size_t, std::size_t>> slices;
-      slices.reserve(plans_[i].shards.size());
-      for (const Shard& shard : plans_[i].shards)
+      slices.reserve(plan.node_plans[i].shards.size());
+      for (const Shard& shard : plan.node_plans[i].shards)
         slices.emplace_back(shard.n0, shard.n1);
       auto findings = audit_shard_slices(*nodes[i].weight, slices);
       for (const GraphFinding& finding : findings) {
@@ -106,54 +111,64 @@ void ExecScheduler::prepare(ExecGraph& graph) {
   // Expand nodes into dispatch tasks: one per whole node, or S column
   // shards plus a join for sharded GEMMs.  The expansion is static
   // across runs; only the pending counters are per-run state.
-  tasks_.clear();
-  initially_ready_.clear();
   std::vector<std::vector<std::size_t>> entry(nodes.size());  // receive deps
   std::vector<std::size_t> exit(nodes.size());                // signal dependents
   for (std::size_t i = 0; i < nodes.size(); ++i) {
-    const std::vector<Shard>& shards = plans_[i].shards;
+    const std::vector<Shard>& shards = plan.node_plans[i].shards;
     if (shards.empty()) {
       Task task;
       task.node = i;
       task.initial_pending = nodes[i].deps.size();
-      tasks_.push_back(std::move(task));
-      entry[i] = {tasks_.size() - 1};
-      exit[i] = tasks_.size() - 1;
+      plan.tasks.push_back(std::move(task));
+      entry[i] = {plan.tasks.size() - 1};
+      exit[i] = plan.tasks.size() - 1;
       continue;
     }
-    ++planned_sharded_nodes_;
-    const std::size_t join_id = tasks_.size() + shards.size();
+    ++plan.sharded_nodes;
+    const std::size_t join_id = plan.tasks.size() + shards.size();
     for (std::size_t s = 0; s < shards.size(); ++s) {
       Task task;
       task.node = i;
       task.shard = static_cast<std::ptrdiff_t>(s);
       task.initial_pending = nodes[i].deps.size();
       task.successors = {join_id};
-      tasks_.push_back(std::move(task));
-      entry[i].push_back(tasks_.size() - 1);
-      ++planned_shards_;
+      plan.tasks.push_back(std::move(task));
+      entry[i].push_back(plan.tasks.size() - 1);
+      ++plan.shards;
     }
     Task join;
     join.node = i;
     join.shard = -2;
     join.initial_pending = shards.size();
-    tasks_.push_back(std::move(join));
+    plan.tasks.push_back(std::move(join));
     exit[i] = join_id;
   }
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     for (ExecGraph::NodeId dependent : nodes[i].dependents) {
-      auto& successors = tasks_[exit[i]].successors;
+      auto& successors = plan.tasks[exit[i]].successors;
       successors.insert(successors.end(), entry[dependent].begin(),
                         entry[dependent].end());
     }
   }
-  for (std::size_t t = 0; t < tasks_.size(); ++t) {
-    if (tasks_[t].initial_pending == 0) initially_ready_.push_back(t);
+  for (std::size_t t = 0; t < plan.tasks.size(); ++t) {
+    if (plan.tasks[t].initial_pending == 0) plan.initially_ready.push_back(t);
   }
 
-  planned_build_id_ = graph.build_id();
-  planned_node_count_ = nodes.size();
-  planned_streams_ = streams();
+  plan.build_id = graph.build_id();
+  plan.node_count = nodes.size();
+  plan.streams = streams();
+  plan.last_used = ++plan_stamp_;
+
+  if (plan_cache_.size() >= kPlanCacheCapacity) {
+    auto lru = std::min_element(plan_cache_.begin(), plan_cache_.end(),
+                                [](const auto& a, const auto& b) {
+                                  return a->last_used < b->last_used;
+                                });
+    *lru = std::move(fresh);
+    return **lru;
+  }
+  plan_cache_.push_back(std::move(fresh));
+  return *plan_cache_.back();
 }
 
 void ExecScheduler::run_serial(ExecGraph& graph) {
@@ -172,12 +187,19 @@ void ExecScheduler::run(ExecGraph& graph) {
     stats_ = RunStats{};
     return;
   }
-  if (options_.validate && validated_build_id_ != graph.build_id()) {
+  if (options_.validate &&
+      std::find(validated_build_ids_.begin(), validated_build_ids_.end(),
+                graph.build_id()) == validated_build_ids_.end()) {
     // One static pass per graph: def-use, hazard coverage, acyclicity,
     // shapes, shard plans.  Throws GraphValidationError (all findings
-    // listed) instead of dispatching a malformed plan.
+    // listed) instead of dispatching a malformed plan.  The validated
+    // set is a bounded ring for the same reason the plan cache is an
+    // LRU: batching rotates several M-keyed graphs through one
+    // scheduler.
     validate_graph_or_throw(graph);
-    validated_build_id_ = graph.build_id();
+    if (validated_build_ids_.size() >= 2 * kPlanCacheCapacity)
+      validated_build_ids_.erase(validated_build_ids_.begin());
+    validated_build_ids_.push_back(graph.build_id());
   }
   graph.poison_slots();  // guards builds: NaN out every non-input slot
   if (streams() <= 1) {
@@ -187,7 +209,8 @@ void ExecScheduler::run(ExecGraph& graph) {
   run_concurrent(graph);
 }
 
-void ExecScheduler::execute_task(ExecGraph& graph, const Task& task) {
+void ExecScheduler::execute_task(ExecGraph& graph, Plan& plan,
+                                 const Task& task) {
   // Node-boundary cancellation point + injected stream faults: both
   // throw here, inside the stream loop's try, so an expired deadline or
   // an injected fault aborts the run through the same first-exception
@@ -201,8 +224,9 @@ void ExecScheduler::execute_task(ExecGraph& graph, const Task& task) {
   const ExecGraph::Node& node = graph.nodes()[task.node];
   if (task.shard >= 0) {
     TS_ASSERT(static_cast<std::size_t>(task.shard) <
-              plans_[task.node].shards.size());
-    Shard& shard = plans_[task.node].shards[static_cast<std::size_t>(task.shard)];
+              plan.node_plans[task.node].shards.size());
+    Shard& shard =
+        plan.node_plans[task.node].shards[static_cast<std::size_t>(task.shard)];
     const MatrixF& a = graph.slot(node.in);
     const std::size_t width = shard.n1 - shard.n0;
     if (shard.scratch.rows() != a.rows() || shard.scratch.cols() != width)
@@ -215,7 +239,7 @@ void ExecScheduler::execute_task(ExecGraph& graph, const Task& task) {
   MatrixF& c = graph.slot(node.out);
   if (c.rows() != a.rows() || c.cols() != node.weight->n())
     c = MatrixF(a.rows(), node.weight->n());
-  for (const Shard& shard : plans_[task.node].shards) {
+  for (const Shard& shard : plan.node_plans[task.node].shards) {
     const std::size_t width = shard.n1 - shard.n0;
     for (std::size_t r = 0; r < c.rows(); ++r) {
       const float* src = shard.scratch.data() + r * width;
@@ -227,22 +251,23 @@ void ExecScheduler::execute_task(ExecGraph& graph, const Task& task) {
 }
 
 void ExecScheduler::run_concurrent(ExecGraph& graph) {
-  prepare(graph);
+  Plan& plan = prepare(graph);
+  const std::vector<Task>& tasks = plan.tasks;
   stats_ = RunStats{};
   stats_.nodes = graph.node_count();
-  stats_.tasks = tasks_.size();
-  stats_.sharded_nodes = planned_sharded_nodes_;
-  stats_.shards = planned_shards_;
+  stats_.tasks = tasks.size();
+  stats_.sharded_nodes = plan.sharded_nodes;
+  stats_.shards = plan.shards;
 
   // Per-run state: pending counters and the ready queue, seeded from
   // the cached expansion.  Everything below the mutex; the kernels
   // themselves run unlocked.
-  std::vector<std::size_t> pending(tasks_.size());
-  for (std::size_t t = 0; t < tasks_.size(); ++t)
-    pending[t] = tasks_[t].initial_pending;
+  std::vector<std::size_t> pending(tasks.size());
+  for (std::size_t t = 0; t < tasks.size(); ++t)
+    pending[t] = tasks[t].initial_pending;
   std::mutex mutex;
   std::condition_variable cv;
-  std::vector<std::size_t> ready = initially_ready_;
+  std::vector<std::size_t> ready = plan.initially_ready;
   std::size_t next_ready = 0;
   std::size_t executed = 0;
   bool aborted = false;
@@ -252,13 +277,13 @@ void ExecScheduler::run_concurrent(ExecGraph& graph) {
     std::unique_lock lock(mutex);
     for (;;) {
       cv.wait(lock, [&] {
-        return aborted || executed == tasks_.size() || next_ready < ready.size();
+        return aborted || executed == tasks.size() || next_ready < ready.size();
       });
-      if (aborted || executed == tasks_.size()) return;
+      if (aborted || executed == tasks.size()) return;
       const std::size_t id = ready[next_ready++];
       lock.unlock();
       try {
-        execute_task(graph, tasks_[id]);
+        execute_task(graph, plan, tasks[id]);
       } catch (...) {
         lock.lock();
         if (!error) error = std::current_exception();
@@ -269,19 +294,19 @@ void ExecScheduler::run_concurrent(ExecGraph& graph) {
       lock.lock();
       ++executed;
       bool woke_any = false;
-      for (std::size_t successor : tasks_[id].successors) {
+      for (std::size_t successor : tasks[id].successors) {
         if (--pending[successor] == 0) {
           ready.push_back(successor);
           woke_any = true;
         }
       }
-      if (executed == tasks_.size() || woke_any) cv.notify_all();
+      if (executed == tasks.size() || woke_any) cv.notify_all();
     }
   };
 
   pool_->parallel_for(0, streams(), stream_loop);
   if (error) std::rethrow_exception(error);
-  TS_CHECK(executed == tasks_.size(),
+  TS_CHECK(executed == tasks.size(),
            "ExecScheduler: graph did not complete (dispatch invariant)");
 }
 

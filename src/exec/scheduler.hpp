@@ -126,9 +126,23 @@ class ExecScheduler {
     std::vector<std::size_t> successors;
   };
 
-  void prepare(ExecGraph& graph);
+  /// One cached expansion: shard plans + task DAG for a specific
+  /// (graph build id, node count, stream count).
+  struct Plan {
+    std::uint64_t build_id = 0;
+    std::size_t node_count = 0;
+    std::size_t streams = 0;
+    std::uint64_t last_used = 0;  ///< LRU stamp
+    std::vector<NodePlan> node_plans;
+    std::vector<Task> tasks;
+    std::vector<std::size_t> initially_ready;
+    std::size_t sharded_nodes = 0;
+    std::size_t shards = 0;
+  };
+
+  Plan& prepare(ExecGraph& graph);
   std::size_t shard_count(const ExecGraph::Node& node) const;
-  void execute_task(ExecGraph& graph, const Task& task);
+  void execute_task(ExecGraph& graph, Plan& plan, const Task& task);
   void run_serial(ExecGraph& graph);
   void run_concurrent(ExecGraph& graph);
 
@@ -138,18 +152,17 @@ class ExecScheduler {
   // Plan cache: shard slices repack weight columns and the task DAG
   // expansion allocates, so both are built once per (graph build id,
   // node count, stream count) — the serving hot path re-runs the same
-  // graph per request.  Models allocate a fresh ExecGraph (fresh build
-  // id) whenever weights are re-packed; the node count catches a graph
-  // that grew new nodes in place.
-  std::uint64_t planned_build_id_ = 0;
-  std::uint64_t validated_build_id_ = 0;
-  std::size_t planned_node_count_ = 0;
-  std::size_t planned_streams_ = 0;
-  std::vector<NodePlan> plans_;
-  std::vector<Task> tasks_;
-  std::vector<std::size_t> initially_ready_;
-  std::size_t planned_sharded_nodes_ = 0;
-  std::size_t planned_shards_ = 0;
+  // graph per request.  A small LRU (not a single entry) because the
+  // batching front end rotates a handful of M-keyed graphs through one
+  // worker's scheduler; one slot would replan on every alternation.
+  // Models allocate a fresh ExecGraph (fresh build id) whenever weights
+  // are re-packed; the node count catches a graph that grew new nodes
+  // in place.
+  static constexpr std::size_t kPlanCacheCapacity = 8;
+  std::vector<std::unique_ptr<Plan>> plan_cache_;
+  std::uint64_t plan_stamp_ = 0;
+  /// Build ids already validated by this scheduler (bounded ring).
+  std::vector<std::uint64_t> validated_build_ids_;
   RunStats stats_;
 };
 

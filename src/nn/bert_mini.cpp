@@ -32,9 +32,8 @@ BertMini::BertMini(const BertMiniConfig& config, const MatrixF& embedding_table)
   classifier_ = std::make_unique<Linear>("cls", config.dim, config.classes, rng);
 }
 
-MatrixF BertMini::forward(const TokenBatch& batch) {
+MatrixF BertMini::embed(const TokenBatch& batch) {
   assert(batch.seq == config_.seq);
-  last_batch_ = batch.batch;
   MatrixF x = embedding_.forward(batch.tokens);
   // Add learned positional embeddings.
   for (std::size_t i = 0; i < batch.batch; ++i) {
@@ -44,6 +43,12 @@ MatrixF BertMini::forward(const TokenBatch& batch) {
       for (std::size_t d = 0; d < config_.dim; ++d) row[d] += pos[d];
     }
   }
+  return x;
+}
+
+MatrixF BertMini::forward(const TokenBatch& batch) {
+  last_batch_ = batch.batch;
+  MatrixF x = embed(batch);
 
   graph_forward_ = scheduler_ != nullptr;
   if (scheduler_) {
@@ -176,7 +181,14 @@ ExecGraph& BertMini::build_exec_graph() {
   ExecGraph& g = *graph_;
   graph_in_ = g.add_slot("x");
   g.mark_input(graph_in_);
-  ExecGraph::SlotId x = graph_in_;
+  graph_out_ = append_exec_graph(g, graph_in_);
+  g.mark_output(graph_out_);
+  return g;
+}
+
+ExecGraph::SlotId BertMini::append_exec_graph(ExecGraph& g,
+                                              ExecGraph::SlotId input) {
+  ExecGraph::SlotId x = input;
   for (std::size_t l = 0; l < blocks_.size(); ++l) {
     Block* blk = &blocks_[l];
     const std::string p = "block" + std::to_string(l);
@@ -223,10 +235,9 @@ ExecGraph& BertMini::build_exec_graph() {
   g.add_host("pool", {x}, {pooled}, [this, x, pooled](ExecGraph& gg) {
     gg.slot(pooled) = pool_.forward(gg.slot(x));
   });
-  graph_out_ = g.add_slot("logits");
-  classifier_->add_to_graph(g, pooled, graph_out_);
-  g.mark_output(graph_out_);
-  return g;
+  const ExecGraph::SlotId logits = g.add_slot("logits");
+  classifier_->add_to_graph(g, pooled, logits);
+  return logits;
 }
 
 }  // namespace tilesparse

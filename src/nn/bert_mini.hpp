@@ -33,6 +33,10 @@ class BertMini {
 
   /// Tokens: batch * seq ids.  Returns batch x classes logits.
   MatrixF forward(const TokenBatch& batch);
+  /// Token + positional embedding only: (batch * seq) x dim activation
+  /// rows — the batchable form a serving request carries (see
+  /// nn/batch_entry.hpp); forward() is embed() + the encoder stack.
+  MatrixF embed(const TokenBatch& batch);
   /// dlogits from the loss; propagates through the whole stack.
   void backward(const MatrixF& dlogits);
 
@@ -64,6 +68,16 @@ class BertMini {
   /// again after loading a new artifact into the layers directly.
   ExecGraph& build_exec_graph();
   ExecGraph* exec_graph() noexcept { return graph_.get(); }
+
+  /// Appends the whole encoder stack (blocks, pool, classifier) to an
+  /// externally owned graph, reading embedded rows from `input` and
+  /// returning the logits slot.  This is build_exec_graph()'s body,
+  /// reusable by batch entries that keep one graph per batch size; the
+  /// appended nodes hold refs to the current packed backends, so the
+  /// external graph must be discarded after pack_weights /
+  /// clear_packed_weights / artifact loads, exactly like graph_.
+  ExecGraph::SlotId append_exec_graph(ExecGraph& graph,
+                                      ExecGraph::SlotId input);
 
   /// Routes forward() through the execution graph dispatched by
   /// `scheduler` (non-owning; null returns to the layer-by-layer

@@ -89,7 +89,12 @@ MatrixF quant_tiles_to_dense(const std::vector<QuantMaskedTile>& tiles,
 void quant_tw_gemm(const MatrixF& a, const std::vector<QuantMaskedTile>& tiles,
                    MatrixF& c) {
   assert(c.rows() == a.rows());
-  const QuantMatrix aq = quantize(a);
+  // Per-ROW activation scales: each output row is scale_r * tile.scale
+  // * int32, a function of that row alone, so a row computes the same
+  // bits batched or solo (the batching bit-identity contract,
+  // exec/row_stage.hpp).  A per-tensor scale would couple every row to
+  // the batch-wide abs-max.
+  const QuantRowMatrix aq = quantize_rows(a);
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
 
@@ -99,7 +104,6 @@ void quant_tw_gemm(const MatrixF& a, const std::vector<QuantMaskedTile>& tiles,
     const std::size_t kt = tile.kept_rows.size();
     const std::size_t wt = tile.out_cols.size();
     if (m == 0 || kt == 0 || wt == 0) continue;
-    const float out_scale = aq.scale * tile.scale;
 
     const std::size_t kt_even = round_up_pair(kt);
     const std::size_t strips = (wt + kNr - 1) / kNr;
@@ -131,15 +135,17 @@ void quant_tw_gemm(const MatrixF& a, const std::vector<QuantMaskedTile>& tiles,
                                tile.kept_rows.data(), kt, a_panel);
         for (std::size_t s = 0; s < strips; ++s) {
           micro_kernel_i8(kt, a_panel, b_panels + s * kt_even * kNr,
-                          out_scale, acc + i * wt_round + s * kNr, wt_round,
+                          tile.scale, acc + i * wt_round + s * kNr, wt_round,
                           rows, kNr);
         }
       }
       for (std::size_t i = 0; i < mlen; ++i) {
         const float* arow = acc + i * wt_round;
+        const float row_scale = aq.scales[i0 + i];
         float* crow = c.data() + (i0 + i) * c.cols();
         for (std::size_t j = 0; j < wt; ++j)
-          crow[static_cast<std::size_t>(tile.out_cols[j])] += arow[j];
+          crow[static_cast<std::size_t>(tile.out_cols[j])] +=
+              arow[j] * row_scale;
       }
     }
   }

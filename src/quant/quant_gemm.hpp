@@ -1,6 +1,9 @@
 #pragma once
-// INT8 execution of TW-pruned weights: per-tile weight scales + a
-// per-tensor activation scale, int32 accumulation, float output.
+// INT8 execution of TW-pruned weights: per-tile weight scales +
+// per-ROW dynamic activation scales, int32 accumulation, float output.
+// Per-row activation scaling keeps each output row a function of its
+// own input row alone, so batched and solo execution are bit-identical
+// (the serving batcher's contract, exec/row_stage.hpp).
 
 #include <cstdint>
 #include <vector>
@@ -27,7 +30,7 @@ std::vector<QuantMaskedTile> quantize_tiles(const std::vector<MaskedTile>& tiles
 MatrixF quant_matmul(const QuantMatrix& a, const QuantMatrix& b);
 
 /// C = A * W for TW-pruned int8 weights.  A is quantised internally
-/// (dynamic per-tensor scale); accumulation is int32 per tile, scaled to
+/// (dynamic per-row scales); accumulation is int32 per tile, scaled to
 /// float on store.  Parallel across tiles (disjoint output columns).
 MatrixF quant_tw_matmul(const MatrixF& a,
                         const std::vector<QuantMaskedTile>& tiles,

@@ -22,6 +22,27 @@ QuantMatrix quantize(const MatrixF& m) {
   return q;
 }
 
+QuantRowMatrix quantize_rows(const MatrixF& m) {
+  QuantRowMatrix q;
+  q.values = MatrixI8(m.rows(), m.cols());
+  q.scales.resize(m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const float* src = m.data() + r * m.cols();
+    std::int8_t* dst = q.values.data() + r * m.cols();
+    float abs_max = 0.0f;
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      abs_max = std::max(abs_max, std::fabs(src[j]));
+    const float scale = abs_max > 0.0f ? abs_max / 127.0f : 1.0f;
+    q.scales[r] = scale;
+    const float inv = 1.0f / scale;
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      dst[j] = static_cast<std::int8_t>(
+          std::clamp(std::lround(src[j] * inv), -127l, 127l));
+    }
+  }
+  return q;
+}
+
 MatrixF dequantize(const QuantMatrix& q) {
   MatrixF m(q.values.rows(), q.values.cols());
   const std::int8_t* src = q.values.data();

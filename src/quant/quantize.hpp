@@ -25,6 +25,20 @@ struct QuantMatrix {
 /// absolute maximum.  An all-zero input gets scale 1.
 QuantMatrix quantize(const MatrixF& m);
 
+/// A per-row quantised matrix: row r uses scales[r], chosen from that
+/// row's own absolute maximum.  Row r of the result depends only on
+/// row r of the input, which is what makes dynamic activation
+/// quantisation batching-invariant: a row quantises to the same bits
+/// whether it travels alone or gathered into a wide-M batch (see
+/// exec/row_stage.hpp).
+struct QuantRowMatrix {
+  MatrixI8 values;
+  std::vector<float> scales;  ///< one per row; 1 for an all-zero row
+};
+
+/// Symmetric per-row quantisation.
+QuantRowMatrix quantize_rows(const MatrixF& m);
+
 /// Reconstructs floats (q * scale).
 MatrixF dequantize(const QuantMatrix& q);
 

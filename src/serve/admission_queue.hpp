@@ -28,7 +28,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
+#include <map>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -58,10 +62,16 @@ class AdmissionQueue {
   }
 
   /// Non-blocking admission.  When the queue is full and `evicted` is
-  /// non-null, the newest entry of the lowest class strictly below
-  /// `priority` is shed into *evicted to make room; with no such entry
-  /// (or evicted == nullptr) the push is rejected.
-  PushOutcome push(T value, Priority priority, T* evicted = nullptr) {
+  /// non-null, an entry of the lowest class strictly below `priority`
+  /// is shed into *evicted to make room; with no such entry (or
+  /// evicted == nullptr) the push is rejected.  Within the victim
+  /// class, the shed entry belongs to the tenant with the HIGHEST
+  /// queue-wide in-queue count — one tenant flooding the queue is shed
+  /// before anyone else — and is that tenant's newest entry; with no
+  /// tenants (all pushes anonymous) or tied counts this degenerates to
+  /// the plain newest entry.
+  PushOutcome push(T value, Priority priority, T* evicted = nullptr,
+                   std::string_view tenant = {}) {
     const auto cls = static_cast<std::size_t>(priority);
     TS_CHECK(cls < kPriorityClasses, "AdmissionQueue: priority out of range");
     std::unique_lock lock(mutex_);
@@ -69,9 +79,8 @@ class AdmissionQueue {
     PushOutcome outcome = PushOutcome::kAdmitted;
     if (size_ >= capacity_) {
       if (!evicted) return PushOutcome::kRejectedFull;
-      // Shed the newest entry of the lowest class below the arrival:
-      // newest-first wastes the least already-invested queue time, and
-      // lowest-class-first protects the most urgent backlog.
+      // Shed from the lowest class below the arrival: lowest-class-
+      // first protects the most urgent backlog.
       std::size_t victim = kPriorityClasses;
       for (std::size_t c = 0; c < cls; ++c) {
         if (!classes_[c].empty()) {
@@ -80,12 +89,28 @@ class AdmissionQueue {
         }
       }
       if (victim == kPriorityClasses) return PushOutcome::kRejectedFull;
-      *evicted = std::move(classes_[victim].back());
-      classes_[victim].pop_back();
+      std::deque<Entry>& dq = classes_[victim];
+      // Newest-to-oldest scan with a strict `>`: the newest entry of
+      // the most-queued tenant wins; full count ties fall back to the
+      // plain newest (the pre-tenant behavior, which wastes the least
+      // already-invested queue time).
+      std::size_t best = dq.size() - 1;
+      std::size_t best_count = 0;
+      for (std::size_t i = dq.size(); i-- > 0;) {
+        const std::size_t count = tenant_count(dq[i].tenant);
+        if (count > best_count) {
+          best_count = count;
+          best = i;
+        }
+      }
+      drop_tenant(dq[best].tenant);
+      *evicted = std::move(dq[best].value);
+      dq.erase(dq.begin() + static_cast<std::ptrdiff_t>(best));
       --size_;
       outcome = PushOutcome::kAdmittedAfterEvict;
     }
-    classes_[cls].push_back(std::move(value));
+    if (!tenant.empty()) ++tenant_counts_[std::string(tenant)];
+    classes_[cls].push_back(Entry{std::move(value), std::string(tenant)});
     ++size_;
     lock.unlock();
     cv_.notify_one();
@@ -130,10 +155,11 @@ class AdmissionQueue {
       closed_ = true;
       drained.reserve(size_);
       for (std::size_t c = kPriorityClasses; c-- > 0;) {
-        for (T& value : classes_[c]) drained.push_back(std::move(value));
+        for (Entry& entry : classes_[c]) drained.push_back(std::move(entry.value));
         classes_[c].clear();
       }
       size_ = 0;
+      tenant_counts_.clear();
     }
     cv_.notify_all();
     return drained;
@@ -144,11 +170,37 @@ class AdmissionQueue {
     return closed_;
   }
 
+  /// Entries a tenant currently has queued (diagnostics/tests).
+  std::size_t tenant_depth(std::string_view tenant) const {
+    std::lock_guard lock(mutex_);
+    return tenant_count(tenant);
+  }
+
  private:
+  struct Entry {
+    T value;
+    std::string tenant;  ///< empty = anonymous (untracked)
+  };
+
+  std::size_t tenant_count(std::string_view tenant) const {
+    if (tenant.empty()) return 0;
+    auto it = tenant_counts_.find(tenant);
+    return it == tenant_counts_.end() ? 0 : it->second;
+  }
+
+  void drop_tenant(const std::string& tenant) {
+    if (tenant.empty()) return;
+    auto it = tenant_counts_.find(tenant);
+    TS_CHECK(it != tenant_counts_.end() && it->second > 0,
+             "AdmissionQueue: tenant count bookkeeping diverged");
+    if (--it->second == 0) tenant_counts_.erase(it);
+  }
+
   void take_highest(T& out) {
     for (std::size_t c = kPriorityClasses; c-- > 0;) {
       if (classes_[c].empty()) continue;
-      out = std::move(classes_[c].front());
+      drop_tenant(classes_[c].front().tenant);
+      out = std::move(classes_[c].front().value);
       classes_[c].pop_front();
       --size_;
       return;
@@ -159,7 +211,9 @@ class AdmissionQueue {
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::array<std::deque<T>, kPriorityClasses> classes_;
+  std::array<std::deque<Entry>, kPriorityClasses> classes_;
+  /// In-queue entries per (non-anonymous) tenant, across all classes.
+  std::map<std::string, std::size_t, std::less<>> tenant_counts_;
   std::size_t size_ = 0;  ///< sum of class sizes (kept for O(1) checks)
   bool closed_ = false;
 };

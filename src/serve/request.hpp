@@ -80,10 +80,25 @@ struct Request {
   /// The work.  Runs on a serving worker; may be retried after a
   /// transient failure, so it must be idempotent.  Throwing reports
   /// failure; CancelledError (thrown by the scheduler's cancellation
-  /// points) reports a deadline overrun.
+  /// points) reports a deadline overrun.  Mutually exclusive with
+  /// `entry` below: a request is either opaque work or batchable data.
   std::function<MatrixF(WorkerContext&)> work;
   /// Free-form tag carried into the response for diagnostics.
   std::string tag;
+  /// Tenant this request bills to.  Feeds per-tenant Stats, the
+  /// admission queue's tenant-aware eviction, and DRR fair scheduling
+  /// in the batcher.  Empty = the anonymous tenant.
+  std::string tenant_id;
+  /// Batchable form: the name of a BatchEntry registered on the
+  /// runtime (register_batch_entry).  Such a request carries its
+  /// activation in `input` instead of a work callable; concurrent
+  /// requests naming the same entry may be coalesced into one wide-M
+  /// graph run, each getting back exactly the rows a solo run would
+  /// have produced (bit-identical).
+  std::string entry;
+  /// Input activation for `entry` (rows must be a positive multiple of
+  /// the entry's group_rows_in, cols must equal its input_cols).
+  MatrixF input;
 };
 
 struct Response {
@@ -95,6 +110,8 @@ struct Response {
   bool degraded = false;  ///< final attempt ran on the serial fallback path
   Clock::duration queue_wait{};    ///< admission -> first pop
   Clock::duration service_time{};  ///< first pop -> terminal status
+  bool batched = false;       ///< served as a member of a coalesced batch
+  std::size_t batch_rows = 0;  ///< total input rows of that batch (diagnostics)
 };
 
 /// Shared completion state for one submitted request.  The runtime is

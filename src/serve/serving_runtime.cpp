@@ -51,6 +51,34 @@ ServingRuntime::ServingRuntime(ServingOptions options)
   if (options_.max_attempts == 0) options_.max_attempts = 1;
   queue_ = std::make_unique<AdmissionQueue<std::shared_ptr<Item>>>(
       options_.queue_capacity);
+  // The batcher completes members directly (they never return to
+  // serve_one), so its completer is the worker-side accounting path.
+  batcher_ = std::make_unique<RequestBatcher>(
+      options_.batch, [this](BatchMember& member, Response response) {
+        switch (response.status) {
+          case RequestStatus::kOk:
+            counters_->ok.fetch_add(1, std::memory_order_relaxed);
+            if (response.degraded)
+              counters_->degraded_ok.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case RequestStatus::kTimeout:
+            counters_->timeout.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case RequestStatus::kFailed:
+            counters_->failed.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case RequestStatus::kRejected:
+          case RequestStatus::kPending:
+            TS_CHECK(false, "RequestBatcher: unexpected member status");
+            break;
+        }
+        if (response.attempts > 1)
+          counters_->retries.fetch_add(response.attempts - 1,
+                                       std::memory_order_relaxed);
+        bump_tenant(member.tenant, response.status, response.batched,
+                    member.cost);
+        member.handle->complete(std::move(response));
+      });
 
   workers_.reserve(options_.workers);
   for (std::size_t w = 0; w < options_.workers; ++w) {
@@ -89,8 +117,44 @@ ServingRuntime::ServingRuntime(ServingOptions options)
 ServingRuntime::~ServingRuntime() { shutdown(Shutdown::kDrain); }
 
 RequestHandle ServingRuntime::submit(Request request) {
-  if (!request.work) {
+  const bool batchable = !request.entry.empty();
+  if (!batchable && !request.work) {
     throw std::invalid_argument("ServingRuntime::submit: null work callable");
+  }
+  if (batchable && request.work) {
+    throw std::invalid_argument(
+        "ServingRuntime::submit: a request carries either work or a batch "
+        "entry, not both");
+  }
+  std::shared_ptr<BatchEntry> entry;
+  if (batchable) {
+    entry = batch_entry(request.entry);
+    if (!entry) {
+      throw std::invalid_argument("ServingRuntime::submit: unknown batch entry '" +
+                                  request.entry + "'");
+    }
+    if (request.input.rows() == 0 ||
+        request.input.rows() % entry->group_rows_in() != 0 ||
+        request.input.cols() != entry->input_cols()) {
+      throw std::invalid_argument(
+          "ServingRuntime::submit: input for entry '" + request.entry +
+          "' must be a non-empty multiple of " +
+          std::to_string(entry->group_rows_in()) + " rows x " +
+          std::to_string(entry->input_cols()) + " cols");
+    }
+    if (options_.batch.enabled) {
+      // The resolved entry rides on the item; serve_one routes it to
+      // the batcher instead of the work path.
+      request.work = nullptr;
+    } else {
+      // Batching off: synthesize the classic PR 8 work callable, so
+      // the request takes exactly the solo worker path (this is the
+      // "unbatched" baseline batched runs are compared against).
+      auto input = std::make_shared<const MatrixF>(std::move(request.input));
+      request.work = [entry, input](WorkerContext& context) {
+        return entry->run(context.scheduler, *input);
+      };
+    }
   }
   auto handle = std::make_shared<PendingRequest>(
       next_id_.fetch_add(1, std::memory_order_relaxed));
@@ -106,13 +170,23 @@ RequestHandle ServingRuntime::submit(Request request) {
   const Priority priority = request.priority;
   item->request = std::move(request);
   item->handle = handle;
+  if (batchable && options_.batch.enabled) item->entry = std::move(entry);
+  {
+    std::lock_guard lock(tenants_mutex_);
+    ++tenant_stats_[item->request.tenant_id].submitted;
+  }
 
   std::shared_ptr<Item> shed;
   const PushOutcome outcome =
-      queue_->push(item, priority, options_.evict_lower_priority ? &shed : nullptr);
+      queue_->push(item, priority, options_.evict_lower_priority ? &shed : nullptr,
+                   item->request.tenant_id);
   switch (outcome) {
     case PushOutcome::kAdmitted:
       counters_->admitted.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard lock(tenants_mutex_);
+        ++tenant_stats_[item->request.tenant_id].admitted;
+      }
       break;
     case PushOutcome::kAdmittedAfterEvict: {
       counters_->admitted.fetch_add(1, std::memory_order_relaxed);
@@ -121,6 +195,11 @@ RequestHandle ServingRuntime::submit(Request request) {
       response.status = RequestStatus::kRejected;
       response.error = "shed from admission queue for a higher-priority arrival";
       counters_->evicted.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard lock(tenants_mutex_);
+        ++tenant_stats_[item->request.tenant_id].admitted;
+        ++tenant_stats_[shed->request.tenant_id].evicted;
+      }
       response.tag = shed->request.tag;
       response.queue_wait = Clock::now() - shed->enqueued;
       shed->handle->complete(std::move(response));
@@ -128,6 +207,10 @@ RequestHandle ServingRuntime::submit(Request request) {
     }
     case PushOutcome::kRejectedFull: {
       counters_->rejected_full.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard lock(tenants_mutex_);
+        ++tenant_stats_[item->request.tenant_id].rejected_full;
+      }
       Response response;
       response.status = RequestStatus::kRejected;
       response.error = "admission queue full";
@@ -137,6 +220,10 @@ RequestHandle ServingRuntime::submit(Request request) {
     }
     case PushOutcome::kRejectedClosed: {
       counters_->rejected_closed.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard lock(tenants_mutex_);
+        ++tenant_stats_[item->request.tenant_id].rejected_closed;
+      }
       Response response;
       response.status = RequestStatus::kRejected;
       response.error = "runtime shutting down";
@@ -146,6 +233,43 @@ RequestHandle ServingRuntime::submit(Request request) {
     }
   }
   return handle;
+}
+
+void ServingRuntime::register_batch_entry(std::shared_ptr<BatchEntry> entry) {
+  TS_CHECK(entry != nullptr, "register_batch_entry: null entry");
+  std::lock_guard lock(entries_mutex_);
+  entries_[entry->name()] = std::move(entry);
+}
+
+std::shared_ptr<BatchEntry> ServingRuntime::batch_entry(
+    std::string_view name) const {
+  std::lock_guard lock(entries_mutex_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+void ServingRuntime::bump_tenant(const std::string& tenant,
+                                 RequestStatus status, bool batched,
+                                 double cost) {
+  std::lock_guard lock(tenants_mutex_);
+  TenantStats& stats = tenant_stats_[tenant];
+  switch (status) {
+    case RequestStatus::kOk:
+      ++stats.ok;
+      stats.cost_ok += cost;
+      if (batched) ++stats.batched_ok;
+      break;
+    case RequestStatus::kTimeout:
+      ++stats.timeout;
+      break;
+    case RequestStatus::kFailed:
+      ++stats.failed;
+      break;
+    case RequestStatus::kRejected:
+    case RequestStatus::kPending:
+      TS_CHECK(false, "bump_tenant: unexpected worker-side status");
+      break;
+  }
 }
 
 void ServingRuntime::complete(Item& item, Response response) {
@@ -170,6 +294,7 @@ void ServingRuntime::complete(Item& item, Response response) {
       TS_CHECK(false, "ServingRuntime: unexpected worker-side status");
       break;
   }
+  bump_tenant(item.request.tenant_id, response.status, response.batched, 0.0);
   item.handle->complete(std::move(response));
 }
 
@@ -199,6 +324,27 @@ void ServingRuntime::serve_one(Worker& worker, std::size_t worker_id,
     response.status = RequestStatus::kTimeout;
     response.error = "deadline expired in admission queue";
     complete(*item, std::move(response));
+    return;
+  }
+
+  if (item->entry) {
+    // Batchable request with batching enabled: hand it to the batcher,
+    // which completes it (possibly inside a wide-M run with members
+    // other workers deposited).  This worker may serve as the batch
+    // leader for a while; that is by design — the remaining workers
+    // keep popping and feeding the forming batch.
+    BatchMember member;
+    member.handle = item->handle;
+    member.input = std::move(item->request.input);
+    member.tenant = item->request.tenant_id;
+    member.tag = item->request.tag;
+    member.enqueued = item->enqueued;
+    member.arrival = popped;
+    member.deadline = item->deadline;
+    member.cost = item->entry->cost(member.input.rows());
+    BatchWorker batch_worker{worker.primary.get(), worker.fallback.get(),
+                             &worker.cancel, worker_id};
+    batcher_->serve(item->entry, std::move(member), batch_worker);
     return;
   }
 
@@ -292,7 +438,8 @@ void ServingRuntime::shutdown(Shutdown mode) {
     shut_down_ = true;
   }
   if (mode == Shutdown::kCancel) {
-    // Backlog first (so workers cannot pop any of it), then in-flight.
+    // Backlog first (so workers cannot pop any of it), then members
+    // queued inside the batcher, then in-flight work.
     std::vector<std::shared_ptr<Item>> backlog = queue_->close_and_drain();
     for (std::shared_ptr<Item>& item : backlog) {
       Response response;
@@ -301,9 +448,12 @@ void ServingRuntime::shutdown(Shutdown mode) {
       response.queue_wait = Clock::now() - item->enqueued;
       complete(*item, std::move(response));
     }
+    batcher_->close(RequestBatcher::Close::kCancel);
     for (auto& worker : workers_) worker->cancel.cancel();
   } else {
     queue_->close();
+    // Leaders flush without further lingering; members still drain.
+    batcher_->close(RequestBatcher::Close::kDrain);
   }
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
@@ -328,6 +478,16 @@ ServingRuntime::Stats ServingRuntime::stats() const {
   stats.retries = counters_->retries.load(std::memory_order_relaxed);
   stats.degraded_ok = counters_->degraded_ok.load(std::memory_order_relaxed);
   return stats;
+}
+
+std::map<std::string, ServingRuntime::TenantStats> ServingRuntime::tenant_stats()
+    const {
+  std::lock_guard lock(tenants_mutex_);
+  return tenant_stats_;
+}
+
+RequestBatcher::BatchStats ServingRuntime::batch_stats() const {
+  return batcher_->stats();
 }
 
 void ServingRuntime::attach_model(std::shared_ptr<const SharedModel> model) {

@@ -36,14 +36,20 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "exec/batch_entry.hpp"
 #include "exec/scheduler.hpp"
 #include "io/serialize.hpp"
 #include "serve/admission_queue.hpp"
+#include "serve/batch/batch_policy.hpp"
+#include "serve/batch/request_batcher.hpp"
 #include "serve/request.hpp"
 #include "util/cancellation.hpp"
 #include "util/threadpool.hpp"
@@ -96,6 +102,10 @@ struct ServingOptions {
   /// Base options for each worker's primary scheduler (streams is
   /// overridden by `streams` above).
   SchedulerOptions scheduler;
+  /// Cross-request batching policy (serve/batch/batch_policy.hpp).
+  /// Disabled by default: batchable requests then run solo through the
+  /// classic worker path, bit-for-bit.
+  BatchPolicy batch;
 };
 
 /// What a Request::work callable sees while running on a worker.
@@ -128,8 +138,17 @@ class ServingRuntime {
   /// Submits a request.  Never blocks: the returned handle is already
   /// terminal (REJECTED) when the queue is full and nothing lower
   /// priority could be shed, or when the runtime is shutting down.
-  /// Throws std::invalid_argument on a null work callable.
+  /// Throws std::invalid_argument on a null work callable, on a
+  /// request naming both `work` and `entry`, on an unregistered entry
+  /// name, or on an input whose shape does not match the entry.
   RequestHandle submit(Request request);
+
+  /// Registers (or replaces) a batch-capable graph entry; requests
+  /// naming it in Request::entry may be coalesced into wide-M runs
+  /// when options().batch.enabled.  Thread-safe.
+  void register_batch_entry(std::shared_ptr<BatchEntry> entry);
+  /// Registered entry by name; null when absent.
+  std::shared_ptr<BatchEntry> batch_entry(std::string_view name) const;
 
   enum class Shutdown {
     kDrain,   ///< stop admissions, serve the backlog to completion
@@ -165,6 +184,37 @@ class ServingRuntime {
   };
   Stats stats() const;
 
+  /// Per-tenant slice of the same accounting, keyed by
+  /// Request::tenant_id (the empty key is the anonymous tenant).  The
+  /// conservation identity holds for EVERY tenant after shutdown, not
+  /// just globally — one tenant's chaos cannot leak statuses into
+  /// another's books.  cost_ok additionally accumulates the byte·MAC
+  /// service cost of OK batchable work, the measure DRR fairness is
+  /// judged by.
+  struct TenantStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t rejected_full = 0;
+    std::uint64_t rejected_closed = 0;
+    std::uint64_t evicted = 0;
+    std::uint64_t timeout = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t batched_ok = 0;  ///< OK responses served inside a batch
+    double cost_ok = 0.0;          ///< byte·MAC cost of OK batchable work
+    std::uint64_t terminal() const noexcept {
+      return ok + rejected_full + rejected_closed + evicted + timeout + failed;
+    }
+    bool conserved() const noexcept {
+      return submitted == terminal() &&
+             admitted == ok + evicted + timeout + failed;
+    }
+  };
+  std::map<std::string, TenantStats> tenant_stats() const;
+
+  /// Batching diagnostics (zeroed when batching is disabled).
+  RequestBatcher::BatchStats batch_stats() const;
+
   const ServingOptions& options() const noexcept { return options_; }
   std::size_t queue_depth() const { return queue_->size(); }
 
@@ -182,6 +232,10 @@ class ServingRuntime {
     RequestHandle handle;
     Clock::time_point enqueued{};
     Clock::time_point deadline = Clock::time_point::max();
+    /// Resolved batch entry, pinned at submit (only set when batching
+    /// is enabled; a later register_batch_entry replacing the name
+    /// must not swap graphs under an admitted request).
+    std::shared_ptr<BatchEntry> entry;
   };
   struct Worker {
     std::unique_ptr<ThreadPool> pool;  ///< null when streams == 1
@@ -199,11 +253,20 @@ class ServingRuntime {
   /// Deadline/cancel-aware sleep; false when the wait was cut short.
   bool backoff_wait(const Worker& worker, Clock::duration wait,
                     Clock::time_point deadline);
+  /// Per-tenant ledger entry for one terminal status (all terminal
+  /// paths — worker, admission shed, batcher completer — funnel here).
+  void bump_tenant(const std::string& tenant, RequestStatus status,
+                   bool batched, double cost);
 
   ServingOptions options_;
   std::unique_ptr<AdmissionQueue<std::shared_ptr<Item>>> queue_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<Counters> counters_;
+  std::unique_ptr<RequestBatcher> batcher_;
+  mutable std::mutex entries_mutex_;
+  std::map<std::string, std::shared_ptr<BatchEntry>, std::less<>> entries_;
+  mutable std::mutex tenants_mutex_;
+  std::map<std::string, TenantStats> tenant_stats_;
   std::atomic<std::uint64_t> next_id_{1};
   std::mutex shutdown_mutex_;
   bool shut_down_ = false;

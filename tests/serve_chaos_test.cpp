@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "exec/backend_registry.hpp"
+#include "exec/batch_entry.hpp"
 #include "exec/exec_context.hpp"
 #include "exec/graph.hpp"
 #include "io/serialize.hpp"
@@ -309,6 +310,137 @@ TEST_F(ServeChaosTest, HundredIterationsConserveAndStayBitIdentical) {
   }
   (void)total_timeout;
   (void)total_shed;
+}
+
+// The same chaos mix with cross-request batching ENABLED and every
+// request billed to a tenant: batchable dense/tw traffic coalesces into
+// wide-M runs while poison and deadline-racing requests ride alongside.
+// On top of the three global promises, conservation must hold PER
+// TENANT — one tenant's faults never leak statuses into another's
+// ledger — and every OK batchable response must still be bit-identical
+// to the fault-free solo reference, whether it was served batched, solo
+// after a bypass, or re-run on the fallback after a batch fault.
+TEST_F(ServeChaosTest, BatchedHundredIterationsConservePerTenant) {
+  constexpr int kIterations = 100;
+  std::uint64_t total_ok = 0, total_failed = 0, total_batched_members = 0;
+
+  for (int iter = 0; iter < kIterations; ++iter) {
+    FaultConfig config;
+    config.seed = 5000 + static_cast<std::uint64_t>(iter);
+    config.with_rate(FaultSite::kSchedulerDispatch, 0.05)
+        .with_rate(FaultSite::kKernelEntry, 0.02);
+    ScopedFaults faults(config);
+
+    ServingOptions options;
+    options.workers = 3;
+    options.streams = 2;
+    options.queue_capacity = 16;
+    options.max_attempts = 2;
+    options.retry_backoff = 50us;
+    options.batch.enabled = true;
+    options.batch.max_linger = 500us;
+    options.batch.max_batch_m = 64;
+    ServingRuntime runtime(options);
+    runtime.register_batch_entry(make_gemm_entry("dense", dense_packed_));
+    runtime.register_batch_entry(make_gemm_entry("tw", sparse_packed_));
+
+    struct Expected {
+      RequestHandle handle;
+      const MatrixF* reference;  ///< non-null: OK must be bit-identical
+    };
+    std::vector<Expected> submitted;
+    auto batchable = [&](const char* entry, std::string tenant,
+                         Clock::time_point deadline) {
+      Request request;
+      request.entry = entry;
+      request.input = *input_;
+      request.tenant_id = std::move(tenant);
+      request.deadline = deadline;
+      request.tag = entry;
+      return request;
+    };
+    const auto never = Clock::time_point::max();
+    for (int i = 0; i < 12; ++i) {
+      const std::string tenant = "tenant-" + std::to_string(i % 3);
+      switch (i % 6) {
+        case 0:
+        case 1:
+          submitted.push_back(
+              {runtime.submit(batchable("dense", tenant, never)), dense_ref_});
+          break;
+        case 2:
+          submitted.push_back(
+              {runtime.submit(batchable("tw", tenant, never)), sparse_ref_});
+          break;
+        case 3: {
+          Request poison = poison_request("poison");
+          poison.tenant_id = tenant;
+          submitted.push_back({runtime.submit(std::move(poison)), nullptr});
+          break;
+        }
+        case 4: {
+          Request slow = slow_request("slow");
+          slow.tenant_id = tenant;
+          submitted.push_back({runtime.submit(std::move(slow)), nullptr});
+          break;
+        }
+        case 5:
+          // Deadline racing the linger window: exercises the bypass
+          // path and in-batch expiry, whichever the race produces.
+          submitted.push_back(
+              {runtime.submit(batchable("dense", tenant,
+                                        Clock::now() + 300us)),
+               dense_ref_});
+          break;
+      }
+    }
+
+    runtime.shutdown(ServingRuntime::Shutdown::kDrain);
+
+    for (const Expected& entry : submitted) {
+      ASSERT_TRUE(entry.handle->done());
+      const Response& response = entry.handle->response();
+      switch (response.status) {
+        case RequestStatus::kOk:
+          ++total_ok;
+          if (entry.reference != nullptr) {
+            ASSERT_TRUE(bit_identical(response.result, *entry.reference))
+                << "tag " << response.tag << " batched " << response.batched
+                << " attempts " << response.attempts << " degraded "
+                << response.degraded;
+          }
+          break;
+        case RequestStatus::kFailed:
+          ++total_failed;
+          break;
+        default:
+          break;
+      }
+    }
+
+    const auto stats = runtime.stats();
+    ASSERT_TRUE(stats.conserved())
+        << "iteration " << iter << ": submitted " << stats.submitted
+        << " terminal " << stats.terminal();
+    ASSERT_EQ(stats.submitted, 12u);
+    std::uint64_t tenant_submitted = 0;
+    for (const auto& [tenant, per_tenant] : runtime.tenant_stats()) {
+      ASSERT_TRUE(per_tenant.conserved())
+          << "iteration " << iter << " tenant " << tenant << ": submitted "
+          << per_tenant.submitted << " terminal " << per_tenant.terminal()
+          << " admitted " << per_tenant.admitted;
+      tenant_submitted += per_tenant.submitted;
+    }
+    // The tenant ledgers partition the global one exactly.
+    ASSERT_EQ(tenant_submitted, stats.submitted);
+    total_batched_members += runtime.batch_stats().batched_members;
+  }
+
+  EXPECT_GE(total_failed, static_cast<std::uint64_t>(kIterations));
+  EXPECT_GT(total_ok, 0u);
+  // Batching must actually have happened across the run, not just
+  // degraded to solo everywhere.
+  EXPECT_GT(total_batched_members, 0u);
 }
 
 TEST_F(ServeChaosTest, InjectedIoFaultSurfacesAsRequestError) {
